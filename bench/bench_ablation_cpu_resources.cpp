@@ -1,0 +1,61 @@
+// Ablation for the paper's §7 OEM implication: "allocating more CPU
+// resources even with a small RAM can improve video performance under
+// memory pressure" (and Table 1's closing insight about devices with
+// more cores / higher frequency).
+//
+// We hold RAM fixed at 1 GB (the Nokia 1's) and sweep the CPU: core
+// count and frequency, measuring drops at the pressured 720p60 cell.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mvqoe;
+  bench::header("Ablation - CPU resources vs QoE under memory pressure (1 GB RAM fixed)",
+                "Waheed et al., CoNEXT'22, Sec. 7 'Original Equipment Manufacturers'");
+  const int runs = bench::runs_per_cell(3);
+  const int duration = bench::video_duration_s(40);
+
+  struct Variant {
+    const char* name;
+    int cores;
+    double freq;
+  };
+  const Variant variants[] = {
+      {"2 x 1.1 GHz (cut-down)", 2, 1.1},
+      {"4 x 1.1 GHz (Nokia 1)", 4, 1.1},
+      {"4 x 1.6 GHz (faster cores)", 4, 1.6},
+      {"8 x 1.1 GHz (more cores)", 8, 1.1},
+      {"8 x 1.6 GHz (both)", 8, 1.6},
+  };
+
+  std::printf("%-28s  %14s  %10s\n", "CPU", "drops (95% CI)", "crash rate");
+  double baseline = -1.0;  // the Nokia 1's own CPU
+  bool upgrades_help = true;
+  for (const Variant& variant : variants) {
+    core::DeviceProfile device = core::nokia1();
+    device.scheduler.cores.assign(static_cast<std::size_t>(variant.cores),
+                                  sched::CoreConfig{variant.freq});
+    core::VideoRunSpec spec;
+    spec.device = device;
+    spec.height = 720;
+    spec.fps = 60;
+    spec.pressure = mem::PressureLevel::Moderate;
+    spec.asset = video::dubai_flow_motion(duration);
+    const auto aggregate = core::run_video_repeated(spec, runs);
+    const auto drop = aggregate.drop_rate();
+    std::printf("%-28s  %6.1f±%-5.1f%%  %9.0f%%\n", variant.name, 100.0 * drop.mean,
+                100.0 * drop.ci95, aggregate.crash_rate_percent());
+    std::fflush(stdout);
+    if (variant.cores == 4 && variant.freq == 1.1) {
+      baseline = 100.0 * drop.mean;
+    } else if (baseline >= 0.0 && 100.0 * drop.mean > baseline + 5.0) {
+      upgrades_help = false;  // an upgrade over the Nokia 1 made QoE worse
+    }
+  }
+
+  bench::section("shape check");
+  std::printf("  every CPU upgrade over the Nokia 1 improves (or preserves) QoE: %s\n",
+              upgrades_help ? "HOLDS" : "violated");
+  std::printf("  (the memory bottleneck itself remains: even 8 x 1.6 GHz cannot fix a 1 GB\n"
+              "  device's reclaim stalls entirely — CPU helps absorb the interference.)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 1: heatmaps of how frequently users engage in activities on
+// their device (1-5 ratings for games / music / video + multitasking).
+#include "bench_util.hpp"
+#include "study/analysis.hpp"
+
+int main() {
+  using namespace mvqoe;
+  bench::header("Figure 1 - user activity / multitasking ratings",
+                "Waheed et al., CoNEXT'22, Fig. 1 (survey of the 80 study users)");
+
+  const auto population = study::generate_population(80, 42);
+  const auto heatmap = study::usage_heatmap(population);
+
+  std::printf("%-22s", "activity \\ rating");
+  for (int rating = 1; rating <= 5; ++rating) std::printf("  %5d", rating);
+  std::printf("   mean\n");
+  for (int activity = 0; activity < 5; ++activity) {
+    std::printf("%-22s", study::UsageHeatmap::activity_name(activity));
+    double total = 0.0;
+    double weighted = 0.0;
+    for (int rating = 0; rating < 5; ++rating) {
+      const int count = heatmap.counts[static_cast<std::size_t>(activity)]
+                                      [static_cast<std::size_t>(rating)];
+      std::printf("  %5d", count);
+      total += count;
+      weighted += count * (rating + 1);
+    }
+    std::printf("  %5.2f\n", total > 0 ? weighted / total : 0.0);
+  }
+
+  bench::section("paper's qualitative claims");
+  auto mean_rating = [&](int activity) {
+    double total = 0.0;
+    double weighted = 0.0;
+    for (int rating = 0; rating < 5; ++rating) {
+      const int count = heatmap.counts[static_cast<std::size_t>(activity)]
+                                      [static_cast<std::size_t>(rating)];
+      total += count;
+      weighted += count * (rating + 1);
+    }
+    return total > 0 ? weighted / total : 0.0;
+  };
+  std::printf("  video streaming most frequent activity: %s (video %.2f > music %.2f > games %.2f)\n",
+              mean_rating(2) > mean_rating(1) && mean_rating(1) > mean_rating(0) ? "YES" : "NO",
+              mean_rating(2), mean_rating(1), mean_rating(0));
+  std::printf("  multitasking common (>1 app rating >= 3): mean %.2f\n", mean_rating(3));
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 2: CDF of median RAM utilization across the cleaned study
+// devices. Paper: 80% of devices had median utilization >= 60%; 20%
+// exceeded 75%.
+#include "bench_util.hpp"
+#include "stats/summary.hpp"
+#include "study_util.hpp"
+
+int main() {
+  using namespace mvqoe;
+  bench::header("Figure 2 - CDF of median RAM utilization",
+                "Waheed et al., CoNEXT'22, Fig. 2 / Table 1 row 1");
+
+  const auto data = bench::run_scaled_study();
+  const auto& results = data.results;
+  std::printf("devices after >10h interactive cleaning: %zu (paper: 48 of 80)\n",
+              results.size());
+
+  const auto cdf = study::utilization_cdf(results);
+  bench::section("CDF (median utilization -> fraction of devices)");
+  for (std::size_t i = 0; i < cdf.size(); i += std::max<std::size_t>(1, cdf.size() / 16)) {
+    std::printf("  util %5.1f%%  F=%.2f |%s\n", 100.0 * cdf[i].value, cdf[i].fraction,
+                stats::ascii_bar(cdf[i].fraction, 30).c_str());
+  }
+
+  const auto summary = study::summarize(results);
+  bench::section("paper-vs-measured");
+  bench::compare("devices with median utilization >= 60%", 80.0,
+                 summary.percent_median_util_ge_60, "%");
+  bench::compare("devices with median utilization > 75%", 20.0,
+                 summary.percent_median_util_gt_75, "%");
+  return 0;
+}

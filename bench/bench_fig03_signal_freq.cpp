@@ -1,0 +1,41 @@
+// Figure 3: memory-pressure signals per hour vs device RAM size, one
+// scatter per level. Paper: 63% of devices received >= 1 signal/hour,
+// 19% received > 10 Critical signals/hour, 6.3% > 70 signals/hour.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "study_util.hpp"
+
+int main() {
+  using namespace mvqoe;
+  bench::header("Figure 3 - memory-pressure signal frequency vs RAM",
+                "Waheed et al., CoNEXT'22, Fig. 3 / Table 1 row 1");
+
+  const auto data = bench::run_scaled_study();
+  const auto& results = data.results;
+  auto rows = study::signal_scatter(results);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.ram_mb != b.ram_mb ? a.ram_mb < b.ram_mb
+                                : a.critical_per_hour > b.critical_per_hour;
+  });
+
+  bench::section("scatter rows (signals/hour by level)");
+  std::printf("  %6s  %10s  %10s  %10s  %10s\n", "RAM", "Moderate/h", "Low/h", "Critical/h",
+              "total/h");
+  for (const auto& row : rows) {
+    std::printf("  %4lldMB  %10.2f  %10.2f  %10.2f  %10.2f\n",
+                static_cast<long long>(row.ram_mb), row.moderate_per_hour, row.low_per_hour,
+                row.critical_per_hour,
+                row.moderate_per_hour + row.low_per_hour + row.critical_per_hour);
+  }
+
+  const auto summary = study::summarize(results);
+  bench::section("paper-vs-measured");
+  bench::compare("devices with >= 1 signal/hour", 63.0, summary.percent_with_any_signal_per_hour,
+                 "%");
+  bench::compare("devices with > 10 Critical signals/hour", 19.0,
+                 summary.percent_with_10_critical_per_hour, "%");
+  bench::compare("devices with > 70 signals/hour", 6.3,
+                 summary.percent_over_70_signals_per_hour, "%");
+  return 0;
+}

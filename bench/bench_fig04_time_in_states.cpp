@@ -1,0 +1,50 @@
+// Figure 4: percentage of time devices spent in each memory-pressure
+// state vs RAM size. Paper: 27% of devices spent >= 2% of time in
+// Moderate, 10% spent > 4% in Critical, two devices spent > 40% in
+// Critical; Table 1: 10% of devices > 50% of time in high pressure, 35%
+// >= 2%.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "study_util.hpp"
+
+int main() {
+  using namespace mvqoe;
+  bench::header("Figure 4 - time in memory-pressure states vs RAM",
+                "Waheed et al., CoNEXT'22, Fig. 4 / Table 1 row 2");
+
+  const auto data = bench::run_scaled_study();
+  const auto& results = data.results;
+  auto rows = study::time_in_states(results);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.ram_mb != b.ram_mb ? a.ram_mb < b.ram_mb : a.fraction[3] > b.fraction[3];
+  });
+
+  bench::section("per-device time shares");
+  std::printf("  %6s  %9s  %9s  %9s  %9s\n", "RAM", "Normal%", "Moderate%", "Low%", "Critical%");
+  for (const auto& row : rows) {
+    std::printf("  %4lldMB  %9.2f  %9.2f  %9.2f  %9.2f\n", static_cast<long long>(row.ram_mb),
+                100.0 * row.fraction[0], 100.0 * row.fraction[1], 100.0 * row.fraction[2],
+                100.0 * row.fraction[3]);
+  }
+
+  double moderate2 = 0.0;
+  double critical4 = 0.0;
+  double critical40 = 0.0;
+  for (const auto& row : rows) {
+    if (row.fraction[1] >= 0.02) ++moderate2;
+    if (row.fraction[3] > 0.04) ++critical4;
+    if (row.fraction[3] > 0.40) ++critical40;
+  }
+  const double n = static_cast<double>(rows.size());
+  const auto summary = study::summarize(results);
+  bench::section("paper-vs-measured");
+  bench::compare("devices >= 2% time in Moderate", 27.0, 100.0 * moderate2 / n, "%");
+  bench::compare("devices > 4% time in Critical", 10.0, 100.0 * critical4 / n, "%");
+  bench::compare("devices > 40% time in Critical (count)", 2.0, critical40, "dev");
+  bench::compare("devices > 50% time in high pressure", 10.0,
+                 summary.percent_time50_high_pressure, "%");
+  bench::compare("devices >= 2% time in high pressure", 35.0, summary.percent_time2_high_pressure,
+                 "%");
+  return 0;
+}

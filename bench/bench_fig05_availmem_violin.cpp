@@ -1,0 +1,51 @@
+// Figure 5: violin plots of available memory per pressure state for the
+// five devices that spent the most time out of Normal. Paper
+// observations: (i) wide spread per state, (ii) mean available memory is
+// lowest at Critical < Low < Moderate, (iii) thresholds differ across
+// devices and scale with RAM.
+#include "bench_util.hpp"
+#include "study_util.hpp"
+
+int main() {
+  using namespace mvqoe;
+  bench::header("Figure 5 - available memory by pressure state (top-5 pressured devices)",
+                "Waheed et al., CoNEXT'22, Fig. 5");
+
+  const auto data = bench::run_scaled_study();
+  const auto& results = data.results;
+  const auto violins = study::availability_violins(results, 5);
+
+  const char* level_names[] = {"Normal", "Moderate", "Low", "Critical"};
+  for (const auto& violin : violins) {
+    bench::section("device #" + std::to_string(violin.device_index) + " (" +
+                   violin.manufacturer + ", " + std::to_string(violin.ram_mb / 1024) + " GB)");
+    for (int level = 0; level < study::kLevels; ++level) {
+      const auto& summary = violin.by_state[static_cast<std::size_t>(level)];
+      if (summary.box.n == 0) {
+        std::printf("  %-9s (no samples)\n", level_names[level]);
+        continue;
+      }
+      std::printf("  %-9s mean=%7.1fMB  [min %6.1f | q25 %6.1f | med %6.1f | q75 %6.1f | max %6.1f]  n=%zu\n",
+                  level_names[level], summary.mean, summary.box.min, summary.box.q25,
+                  summary.box.median, summary.box.q75, summary.box.max, summary.box.n);
+    }
+    // Observation (ii): ordering of mean available memory across states.
+    const double moderate = violin.by_state[1].mean;
+    const double low = violin.by_state[2].mean;
+    const double critical = violin.by_state[3].mean;
+    if (violin.by_state[1].box.n > 0 && violin.by_state[2].box.n > 0 &&
+        violin.by_state[3].box.n > 0) {
+      std::printf("  ordering Critical <= Low <= Moderate: %s\n",
+                  critical <= low + 8.0 && low <= moderate + 8.0 ? "holds" : "VIOLATED");
+    }
+  }
+
+  bench::section("observation (iii): thresholds scale with RAM");
+  for (const auto& violin : violins) {
+    if (violin.by_state[1].box.n > 0) {
+      std::printf("  %lldMB device signals Moderate around %.0f MB available\n",
+                  static_cast<long long>(violin.ram_mb), violin.by_state[1].mean);
+    }
+  }
+  return 0;
+}

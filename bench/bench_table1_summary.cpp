@@ -1,0 +1,125 @@
+// Table 1: the paper's key-insight summary. This bench regenerates each
+// row's quantitative claim from the corresponding subsystem: the field
+// study (§3 rows), the Nokia 1 / Nexus 5 experiments (§4 rows), the MOS
+// survey, and the §5 trace analysis.
+#include "bench_util.hpp"
+#include "qoe/mos.hpp"
+#include "study_util.hpp"
+#include "trace/analysis.hpp"
+
+int main() {
+  using namespace mvqoe;
+  bench::header("Table 1 - key insights summary", "Waheed et al., CoNEXT'22, Table 1");
+  const int duration = bench::video_duration_s();
+  const int runs = bench::runs_per_cell(3);
+
+  bench::section("rows 1-2: user study (memory pressure in the wild)");
+  {
+    const auto data = bench::run_scaled_study();
+    const auto summary = study::summarize(data.results);
+    bench::compare("devices experiencing memory pressure (>=1 signal/h)", 63.0,
+                   summary.percent_with_any_signal_per_hour, "%");
+    bench::compare("devices with > 10 Critical signals/hour", 19.0,
+                   summary.percent_with_10_critical_per_hour, "%");
+    bench::compare("devices > 50% of time in high pressure", 10.0,
+                   summary.percent_time50_high_pressure, "%");
+    bench::compare("devices >= 2% of time in high pressure", 35.0,
+                   summary.percent_time2_high_pressure, "%");
+  }
+
+  bench::section("row 3: entry-level (Nokia 1) high-res drops and crashes under pressure");
+  {
+    stats::Accumulator drops;
+    double crash = 0.0;
+    int cells = 0;
+    for (const int height : {720, 1080}) {
+      for (const int fps : {30, 60}) {
+        core::VideoRunSpec spec;
+        spec.device = core::nokia1();
+        spec.height = height;
+        spec.fps = fps;
+        spec.pressure = mem::PressureLevel::Moderate;
+        spec.asset = video::dubai_flow_motion(duration);
+        const auto agg = core::run_video_repeated(spec, runs);
+        drops.add(100.0 * agg.drop_rate().mean);
+        crash += agg.crash_rate_percent();
+        ++cells;
+        std::fflush(stdout);
+      }
+    }
+    bench::compare("Nokia 1 mean drops, 720/1080p under pressure", 75.0, drops.mean(), "%");
+    std::printf("  Nokia 1 'frequent crashes': mean crash rate %.0f%% across high-res cells\n",
+                crash / cells);
+  }
+
+  bench::section("row 4: Nexus 5 drops up to ~25%");
+  {
+    double worst = 0.0;
+    for (const auto state : {mem::PressureLevel::Moderate, mem::PressureLevel::Critical}) {
+      core::VideoRunSpec spec;
+      spec.device = core::nexus5();
+      spec.height = 1080;
+      spec.fps = 60;
+      spec.pressure = state;
+      spec.asset = video::dubai_flow_motion(duration);
+      const auto agg = core::run_video_repeated(spec, runs);
+      worst = std::max(worst, 100.0 * agg.drop_rate_completed().mean);
+      std::fflush(stdout);
+    }
+    bench::compare("Nexus 5 worst-case drops (completed runs)", 25.0, worst, "%");
+  }
+
+  bench::section("row 5: user survey — experience degrades significantly under pressure");
+  {
+    const auto survey = qoe::run_dmos_survey(qoe::MosModel{}, 0.03, 0.35, 99, 42);
+    bench::compare("raters scoring 1-2 of 99", 60.0,
+                   static_cast<double>(survey.count(1) + survey.count(2)), "#");
+  }
+
+  bench::section("row 6: waiting time of video threads increases under pressure");
+  {
+    auto run_states = [&](mem::PressureLevel state) {
+      core::VideoRunSpec spec;
+      spec.device = core::nokia1();
+      spec.height = 480;
+      spec.fps = 60;
+      spec.pressure = state;
+      spec.asset = video::dubai_flow_motion(duration);
+      spec.seed = 3;
+      core::VideoExperiment experiment(spec);
+      experiment.run();
+      std::vector<trace::ThreadId> tids = experiment.session().client_thread_ids();
+      tids.push_back(experiment.session().surfaceflinger_tid());
+      return trace::state_times(experiment.testbed().tracer, tids,
+                                experiment.playback_start());
+    };
+    const auto normal = run_states(mem::PressureLevel::Normal);
+    const auto moderate = run_states(mem::PressureLevel::Moderate);
+    const double increase =
+        normal.runnable_preempted > 0
+            ? 100.0 * (moderate.runnable_preempted - normal.runnable_preempted) /
+                  normal.runnable_preempted
+            : 0.0;
+    bench::compare("Runnable (Preempted) increase Normal->Moderate", 97.8, increase, "%");
+  }
+
+  bench::section("row 7: adaptation opportunity (frame rate under pressure)");
+  {
+    auto run_fps = [&](int fps) {
+      core::VideoRunSpec spec;
+      spec.device = core::nokia1();
+      spec.height = 480;
+      spec.fps = fps;
+      spec.organic_background_apps = 8;
+      spec.asset = video::dubai_flow_motion(duration);
+      return core::run_video_repeated(spec, runs).drop_rate().mean * 100.0;
+    };
+    const double at60 = run_fps(60);
+    const double at24 = run_fps(24);
+    std::printf("  480p under organic pressure: %.1f%% drops at 60 FPS vs %.1f%% at 24 FPS\n",
+                at60, at24);
+    std::printf("  frame-rate adaptation recovers playback: %s\n",
+                at24 < at60 * 0.5 ? "YES" : "NO");
+  }
+  return 0;
+}

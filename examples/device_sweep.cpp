@@ -1,0 +1,49 @@
+// Cross-device sweep: the paper's central comparison (entry-level vs
+// mid-range vs higher-end) in one program. For each device preset, play
+// the same video across the quality ladder at Normal and Moderate
+// pressure and print the QoE matrix — the quickest way to see where a
+// given device's "memory wall" sits.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace mvqoe;
+  const int heights[] = {480, 720, 1080};
+  const int rates[] = {30, 60};
+
+  for (const core::DeviceProfile& device : core::all_devices()) {
+    std::printf("=== %s (%lld MB RAM, %zu cores)\n", device.name.c_str(),
+                static_cast<long long>(device.ram_mb), device.scheduler.cores.size());
+    std::printf("    %-9s", "state");
+    for (const int fps : rates) {
+      for (const int height : heights) std::printf("  %4dp@%-2d", height, fps);
+    }
+    std::printf("\n");
+    for (const auto state : {mem::PressureLevel::Normal, mem::PressureLevel::Moderate}) {
+      std::printf("    %-9s", mem::to_string(state));
+      for (const int fps : rates) {
+        for (const int height : heights) {
+          core::VideoRunSpec spec;
+          spec.device = device;
+          spec.height = height;
+          spec.fps = fps;
+          spec.pressure = state;
+          spec.asset = video::dubai_flow_motion(40);
+          spec.seed = 21;
+          const auto result = core::run_video(spec);
+          if (result.outcome.crashed) {
+            std::printf("  %7s*", "CRASH");
+          } else {
+            std::printf("  %6.1f%% ", 100.0 * result.outcome.drop_rate);
+          }
+          std::fflush(stdout);
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("cells: frame-drop rate over the played portion; CRASH* = lmkd killed the player\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's actionable proposal (§6/§7), demonstrated end to end:
+// ABR algorithms that listen to onTrimMemory signals and adapt the
+// *frame rate* (not just the bitrate) recover playback under memory
+// pressure that wrecks network-only policies.
+//
+// Runs the same pressured scenario (Nokia 1, organic background-app
+// pressure) under four policies and prints the comparison.
+#include <cstdio>
+#include <memory>
+
+#include "abr/policies.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+mvqoe::core::VideoRunResult run_policy(mvqoe::video::AbrPolicy* policy, std::uint64_t seed) {
+  using namespace mvqoe;
+  core::VideoRunSpec spec;
+  spec.device = core::nokia1();
+  spec.height = 720;   // the network-only policies will happily pick this...
+  spec.fps = 60;       // ...at 60 FPS, which the pressured device cannot render
+  spec.organic_background_apps = 8;
+  spec.asset = video::dubai_flow_motion(60);
+  spec.seed = seed;
+  spec.abr = policy;
+  return core::run_video(spec);
+}
+
+void report(const char* name, const mvqoe::core::VideoRunResult& result) {
+  const auto& history = result.metrics.rung_history;
+  std::printf("  %-28s drops %5.1f%%  crashed=%-3s  final rung %s\n", name,
+              100.0 * result.outcome.drop_rate, result.outcome.crashed ? "yes" : "no",
+              history.empty() ? "-" : history.back().label().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mvqoe;
+  std::printf("Scenario: Nokia 1 (1 GB), 8 background apps (organic pressure), 60 s video.\n");
+  std::printf("Network is never the bottleneck — only memory/CPU are (paper Sec. 4.1).\n\n");
+
+  report("fixed 720p60", run_policy(nullptr, 3));
+
+  abr::RateBasedAbr rate_based(60);
+  report("rate-based (network-only)", run_policy(&rate_based, 3));
+
+  abr::BufferBasedAbr buffer_based(60);
+  report("buffer-based / BBA", run_policy(&buffer_based, 3));
+
+  abr::BolaAbr bola(60);
+  report("BOLA", run_policy(&bola, 3));
+
+  // The §6 proposal: wrap any network policy with memory-pressure caps
+  // that trade frame rate before resolution.
+  abr::MemoryAwareAbr aware(std::make_unique<abr::RateBasedAbr>(60));
+  report("memory-aware(rate-based)", run_policy(&aware, 3));
+
+  std::printf("\nThe memory-aware policy reacts to onTrimMemory signals by capping the frame\n");
+  std::printf("rate (60 -> 48 -> 24) and, if drops persist, the resolution — the adaptation\n");
+  std::printf("the paper shows recovers playback (Figs 16/17).\n");
+  return 0;
+}

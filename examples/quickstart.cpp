@@ -1,0 +1,50 @@
+// Quickstart: stream one DASH video on a simulated Nexus 5 under
+// Moderate memory pressure and print the QoE report.
+//
+//   $ ./examples/quickstart [height] [fps] [pressure: 0..3]
+//
+// This walks the whole public API surface once: pick a device preset,
+// describe the run, execute it, read the metrics.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mvqoe;
+
+  core::VideoRunSpec spec;
+  spec.device = core::nexus5();
+  spec.height = argc > 1 ? std::atoi(argv[1]) : 1080;
+  spec.fps = argc > 2 ? std::atoi(argv[2]) : 60;
+  spec.pressure = static_cast<mem::PressureLevel>(argc > 3 ? std::atoi(argv[3]) : 1);
+  spec.asset = video::dubai_flow_motion(/*duration_s=*/60);
+  spec.seed = 7;
+
+  std::printf("device   : %s (%lld MB RAM, %zu cores)\n", spec.device.name.c_str(),
+              static_cast<long long>(spec.device.ram_mb), spec.device.scheduler.cores.size());
+  std::printf("video    : %s\n", spec.asset.title.c_str());
+  std::printf("rung     : %dp @ %d FPS\n", spec.height, spec.fps);
+  std::printf("pressure : %s (MP-Simulator style, applied before playback)\n\n",
+              mem::to_string(spec.pressure));
+
+  const core::VideoRunResult result = core::run_video(spec);
+
+  std::printf("pressure level at playback start : %s\n", mem::to_string(result.start_level));
+  std::printf("startup delay                    : %.2f s\n", result.outcome.startup_delay_s);
+  std::printf("frames presented / dropped       : %lld / %lld\n",
+              static_cast<long long>(result.metrics.frames_presented),
+              static_cast<long long>(result.metrics.frames_dropped));
+  std::printf("frame drop rate                  : %.1f %%\n", 100.0 * result.outcome.drop_rate);
+  std::printf("client crashed (lmkd kill)       : %s\n",
+              result.outcome.crashed ? "yes" : "no");
+  std::printf("client PSS (mean / peak)         : %.0f / %.0f MB\n",
+              result.outcome.mean_pss_mb, result.outcome.peak_pss_mb);
+
+  std::printf("\nper-second rendered FPS:\n");
+  const auto& series = result.metrics.presented_per_second;
+  for (std::size_t second = 0; second < series.size(); second += 4) {
+    std::printf("  t=%3zus  %3d fps\n", second, series[second]);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "abr/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mvqoe::abr {
+
+namespace {
+
+/// Rungs at a fixed fps, ascending by bitrate.
+std::vector<Rung> fps_ladder(const BitrateLadder& ladder, int fps) {
+  std::vector<Rung> rungs;
+  for (const Rung& rung : ladder.rungs()) {
+    if (rung.fps == fps) rungs.push_back(rung);
+  }
+  std::sort(rungs.begin(), rungs.end(),
+            [](const Rung& a, const Rung& b) { return a.bitrate_kbps < b.bitrate_kbps; });
+  return rungs;
+}
+
+}  // namespace
+
+int next_fps_down(const BitrateLadder& ladder, int fps) {
+  const std::vector<int> rates = ladder.frame_rates();  // ascending
+  int best = rates.front();
+  for (const int rate : rates) {
+    if (rate < fps) best = rate;
+  }
+  return best;
+}
+
+Rung RateBasedAbr::choose(const AbrContext& context) {
+  const auto rungs = fps_ladder(*context.ladder, fps_);
+  Rung best = rungs.front();
+  const double budget_kbps = context.throughput_mbps * 1000.0 * safety_;
+  for (const Rung& rung : rungs) {
+    if (context.throughput_mbps <= 0.0 || rung.bitrate_kbps <= budget_kbps) best = rung;
+  }
+  // With no estimate yet, start conservatively at the bottom rung — but
+  // the loop above already selected the top in that case; reset:
+  if (context.throughput_mbps <= 0.0) best = rungs.front();
+  return best;
+}
+
+Rung BufferBasedAbr::choose(const AbrContext& context) {
+  const auto rungs = fps_ladder(*context.ladder, fps_);
+  if (context.buffer_seconds <= reservoir_s_) return rungs.front();
+  if (context.buffer_seconds >= cushion_s_) return rungs.back();
+  const double fraction =
+      (context.buffer_seconds - reservoir_s_) / (cushion_s_ - reservoir_s_);
+  const auto index = static_cast<std::size_t>(fraction * static_cast<double>(rungs.size() - 1));
+  return rungs[std::min(index, rungs.size() - 1)];
+}
+
+BolaAbr::BolaAbr(int fps, double buffer_target_s)
+    : fps_(fps), buffer_target_s_(buffer_target_s) {}
+
+Rung BolaAbr::choose(const AbrContext& context) {
+  const auto rungs = fps_ladder(*context.ladder, fps_);
+  const double min_bitrate = rungs.front().bitrate_kbps;
+  // BOLA-BASIC parameters: utilities u_m = ln(S_m / S_min); V and gamma_p
+  // chosen so the top rung is selected at the buffer target and the
+  // bottom rung at ~25% of it.
+  const double u_max = std::log(static_cast<double>(rungs.back().bitrate_kbps) / min_bitrate);
+  const double gamma_p = 5.0;
+  const double V = buffer_target_s_ / (u_max + gamma_p);
+
+  Rung best = rungs.front();
+  double best_score = -1e18;
+  for (const Rung& rung : rungs) {
+    const double utility = std::log(static_cast<double>(rung.bitrate_kbps) / min_bitrate);
+    const double score = (V * (utility + gamma_p) - context.buffer_seconds) /
+                         static_cast<double>(rung.bitrate_kbps);
+    if (score > best_score) {
+      best_score = score;
+      best = rung;
+    }
+  }
+  return best;
+}
+
+MemoryAwareAbr::MemoryAwareAbr(std::unique_ptr<AbrPolicy> inner, MemoryAwareConfig config)
+    : inner_(std::move(inner)), config_(config) {}
+
+std::string MemoryAwareAbr::name() const {
+  return "memory-aware(" + (inner_ != nullptr ? inner_->name() : std::string("hold")) + ")";
+}
+
+Rung MemoryAwareAbr::choose(const AbrContext& context) {
+  Rung network_choice = inner_ != nullptr ? inner_->choose(context) : context.current;
+
+  const int level = static_cast<int>(context.pressure);
+  if (level > 0) {
+    // Track the worst level seen recently; decay only after hold_segments
+    // of calm (trim signals are bursty — §3 Fig 6 shows pressure states
+    // persist and recur, so reacting to the instantaneous level thrashes).
+    worst_recent_level_ = std::max(worst_recent_level_, level);
+    segments_since_pressure_ = 0;
+  } else {
+    ++segments_since_pressure_;
+    if (segments_since_pressure_ > config_.hold_segments && worst_recent_level_ > 0) {
+      --worst_recent_level_;
+      segments_since_pressure_ = 0;
+    }
+  }
+
+  const int effective = worst_recent_level_;
+  int max_fps = config_.max_fps[effective];
+  int max_height = config_.max_height[effective];
+  if (effective > 0 && context.recent_drop_rate > config_.drop_rate_trigger) {
+    // Still dropping frames under the current cap: trade frame rate first.
+    max_fps = next_fps_down(*context.ladder, max_fps);
+  }
+
+  if (network_choice.fps <= max_fps && network_choice.resolution.height <= max_height) {
+    return network_choice;
+  }
+  const auto capped = context.ladder->best_under(
+      std::min(max_height, network_choice.resolution.height),
+      std::min(max_fps, network_choice.fps));
+  return capped.value_or(network_choice);
+}
+
+}  // namespace mvqoe::abr

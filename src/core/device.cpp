@@ -1,0 +1,132 @@
+#include "core/device.hpp"
+
+namespace mvqoe::core {
+
+using mem::pages_from_mb;
+
+namespace {
+
+sched::SchedulerConfig cpu(std::initializer_list<double> freqs) {
+  sched::SchedulerConfig config;
+  for (const double f : freqs) config.cores.push_back(sched::CoreConfig{f});
+  return config;
+}
+
+}  // namespace
+
+DeviceProfile nokia1() {
+  DeviceProfile device;
+  device.name = "Nokia 1";
+  device.ram_mb = 1024;
+  device.scheduler = cpu({1.1, 1.1, 1.1, 1.1});
+
+  device.memory.total = pages_from_mb(1024);
+  device.memory.kernel_reserved = pages_from_mb(270);  // kernel + HAL + GPU carve-out
+  device.memory.zram_capacity = pages_from_mb(360);    // Android Go ships zRAM (~RAM/3)
+  device.memory.watermark_min = pages_from_mb(8);
+  device.memory.watermark_low = pages_from_mb(40);
+  device.memory.watermark_high = pages_from_mb(64);
+  device.memory.trim_moderate = 6;  // footnote 6: 6/5/3 on the Nokia 1
+  device.memory.trim_low = 5;
+  device.memory.trim_critical = 3;
+  device.memory.minfree_cached = pages_from_mb(110);
+  device.memory.minfree_service = pages_from_mb(64);
+  device.memory.minfree_perceptible = pages_from_mb(36);
+  device.memory.minfree_foreground = pages_from_mb(18);
+
+  device.storage.read_bandwidth_mbps = 120.0;
+  device.storage.write_bandwidth_mbps = 32.0;
+
+  device.system_scale = 0.55;  // Android Go: slim system image
+  device.baseline_cached = 8;
+  return device;
+}
+
+DeviceProfile nexus5() {
+  DeviceProfile device;
+  device.name = "Nexus 5";
+  device.ram_mb = 2048;
+  device.scheduler = cpu({2.33, 2.33, 2.33, 2.33});
+
+  device.memory.total = pages_from_mb(2048);
+  device.memory.kernel_reserved = pages_from_mb(380);
+  device.memory.zram_capacity = pages_from_mb(600);
+  device.memory.watermark_min = pages_from_mb(12);
+  device.memory.watermark_low = pages_from_mb(48);
+  device.memory.watermark_high = pages_from_mb(72);
+  device.memory.trim_moderate = 8;  // thresholds scale with RAM (Fig 5)
+  device.memory.trim_low = 7;
+  device.memory.trim_critical = 4;
+  device.memory.minfree_cached = pages_from_mb(100);
+  device.memory.minfree_service = pages_from_mb(64);
+  device.memory.minfree_perceptible = pages_from_mb(40);
+  device.memory.minfree_foreground = pages_from_mb(22);
+
+  device.storage.read_bandwidth_mbps = 140.0;
+  device.storage.write_bandwidth_mbps = 45.0;
+
+  device.system_scale = 1.1;
+  device.baseline_cached = 12;
+  return device;
+}
+
+DeviceProfile nexus6p() {
+  DeviceProfile device;
+  device.name = "Nexus 6P";
+  device.ram_mb = 3072;
+  device.scheduler = cpu({2.0, 2.0, 2.0, 2.0, 1.55, 1.55, 1.55, 1.55});
+
+  device.memory.total = pages_from_mb(3072);
+  device.memory.kernel_reserved = pages_from_mb(480);
+  device.memory.zram_capacity = pages_from_mb(900);
+  device.memory.watermark_min = pages_from_mb(16);
+  device.memory.watermark_low = pages_from_mb(64);
+  device.memory.watermark_high = pages_from_mb(96);
+  device.memory.trim_moderate = 10;
+  device.memory.trim_low = 8;
+  device.memory.trim_critical = 5;
+  device.memory.minfree_cached = pages_from_mb(120);
+  device.memory.minfree_service = pages_from_mb(76);
+  device.memory.minfree_perceptible = pages_from_mb(48);
+  device.memory.minfree_foreground = pages_from_mb(26);
+
+  device.storage.read_bandwidth_mbps = 160.0;
+  device.storage.write_bandwidth_mbps = 60.0;
+
+  device.system_scale = 1.3;
+  device.baseline_cached = 14;
+  return device;
+}
+
+const std::vector<DeviceProfile>& all_devices() {
+  static const std::vector<DeviceProfile> devices = {nokia1(), nexus5(), nexus6p()};
+  return devices;
+}
+
+DeviceProfile generic_device(std::int64_t ram_mb, int cores, double freq_ghz) {
+  DeviceProfile device;
+  device.name = std::to_string(ram_mb / 1024) + "GB generic";
+  device.ram_mb = ram_mb;
+  device.scheduler.cores.assign(static_cast<std::size_t>(cores), sched::CoreConfig{freq_ghz});
+
+  device.memory.total = pages_from_mb(ram_mb);
+  device.memory.kernel_reserved = pages_from_mb(220 + ram_mb / 8);
+  device.memory.zram_capacity = pages_from_mb(ram_mb * 4 / 10);
+  device.memory.watermark_min = pages_from_mb(6 + ram_mb / 256);
+  device.memory.watermark_low = pages_from_mb(24 + ram_mb / 64);
+  device.memory.watermark_high = pages_from_mb(36 + ram_mb / 48);
+  const int ram_gb = static_cast<int>(ram_mb / 1024);
+  device.memory.trim_moderate = 6 + 2 * (ram_gb - 1);
+  device.memory.trim_low = 5 + ram_gb - 1;
+  device.memory.trim_critical = 3 + (ram_gb - 1) / 2;
+  device.memory.minfree_cached = pages_from_mb(50 + ram_mb / 40);
+  device.memory.minfree_service = pages_from_mb(32 + ram_mb / 64);
+  device.memory.minfree_perceptible = pages_from_mb(20 + ram_mb / 96);
+  device.memory.minfree_foreground = pages_from_mb(12 + ram_mb / 160);
+
+  device.system_scale = 0.7 + 0.2 * static_cast<double>(ram_gb);
+  device.baseline_cached = 8 + 2 * (ram_gb - 1);
+  return device;
+}
+
+}  // namespace mvqoe::core

@@ -1,0 +1,40 @@
+// Device presets for the paper's three evaluation phones (§4.1):
+//   * Nokia 1    — entry-level, 1 GB RAM, quad-core 1.1 GHz (Android Go)
+//   * Nexus 5    — mid-range,   2 GB RAM, quad-core 2.33 GHz
+//   * Nexus 6P   — higher-end,  3 GB RAM, octa-core 4x1.55 + 4x2.0 GHz
+// Presets bundle CPU topology, memory geometry (watermarks, zRAM, trim
+// thresholds scaled with RAM per the paper's Fig 5 observation), storage
+// speed and the system-image footprint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/types.hpp"
+#include "sched/scheduler.hpp"
+#include "storage/storage.hpp"
+
+namespace mvqoe::core {
+
+struct DeviceProfile {
+  std::string name;
+  std::int64_t ram_mb = 2048;
+  sched::SchedulerConfig scheduler;
+  mem::MemoryConfig memory;
+  storage::StorageConfig storage;
+  /// Scale factor for the system-image process footprints.
+  double system_scale = 1.0;
+  /// Cached processes retained in the LRU after boot.
+  int baseline_cached = 10;
+};
+
+DeviceProfile nokia1();
+DeviceProfile nexus5();
+DeviceProfile nexus6p();
+const std::vector<DeviceProfile>& all_devices();
+
+/// Generic preset for the field-study population: RAM in {1..8} GB with
+/// core count/frequency representative of that tier.
+DeviceProfile generic_device(std::int64_t ram_mb, int cores, double freq_ghz);
+
+}  // namespace mvqoe::core

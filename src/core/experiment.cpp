@@ -1,0 +1,158 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "stats/rng.hpp"
+
+namespace mvqoe::core {
+
+VideoExperiment::VideoExperiment(VideoRunSpec spec) : spec_(std::move(spec)) {
+  testbed_ = std::make_unique<Testbed>(spec_.device, spec_.seed);
+}
+
+VideoExperiment::~VideoExperiment() = default;
+
+sim::Time VideoExperiment::playback_start() const noexcept {
+  return session_ != nullptr ? session_->metrics().playback_start : -1;
+}
+
+VideoRunResult VideoExperiment::run() {
+  Testbed& tb = *testbed_;
+  tb.boot();
+
+  // Apply pressure before starting the video (§4.1: "we start the video
+  // streaming session after the targeted memory pressure signal is
+  // received").
+  mem::PressureLevel start_level = mem::PressureLevel::Normal;
+  if (spec_.organic_background_apps > 0) {
+    // Half the opened apps keep working in the background (music,
+    // messengers syncing, feeds refreshing): they hold part of their
+    // working set hot, keep touching it, and — like real Android services
+    // — RESTART a few seconds after lmkd kills them. That restart churn
+    // is what makes organic pressure persist through the whole video
+    // (paper §4.3 and the continuous kills of Fig 15).
+    auto relaunch = std::make_shared<std::function<void(proc::AppSpec, bool)>>();
+    *relaunch = [&tb, relaunch](proc::AppSpec app, bool active) {
+      const auto pid = tb.am.next_pid();
+      tb.memory.register_process(pid, app.name, mem::OomAdj::kService,
+                                 [&tb, relaunch, app, active] {
+                                   tb.engine.schedule(sim::sec(4), [relaunch, app, active] {
+                                     (*relaunch)(app, active);
+                                   });
+                                 });
+      // Restarted trimmed: services come back with a reduced heap.
+      const mem::Pages heap = app.heap_pages * 3 / 5;
+      tb.memory.alloc_anon(pid, heap, 0, [&tb, pid, heap, active](bool ok) {
+        if (ok && active) tb.memory.set_hot_pages(pid, heap / 3);
+      });
+      tb.memory.map_file(pid, app.code_pages / 2, 0, nullptr);
+      if (active) tb.add_background_duty(pid);
+    };
+
+    const auto& catalog = proc::top_free_apps();
+    for (int i = 0; i < spec_.organic_background_apps; ++i) {
+      const proc::AppSpec& app = catalog[static_cast<std::size_t>(i) % catalog.size()];
+      const bool active = i % 2 == 0;
+      const auto pid = tb.am.launch(app, [&tb, relaunch, app, active] {
+        tb.engine.schedule(sim::sec(4),
+                           [relaunch, app, active] { (*relaunch)(app, active); });
+      });
+      tb.engine.run_until(tb.engine.now() + sim::msec(800));
+      if (active && tb.memory.registry().alive(pid)) {
+        tb.memory.set_oom_adj(pid, mem::OomAdj::kService);
+        tb.memory.set_hot_pages(pid, app.heap_pages / 3);
+        tb.add_background_duty(pid);
+      }
+      start_level = std::max(start_level, tb.memory.level());
+    }
+    // All opened apps end up in the background once the player launches.
+    tb.engine.run_until(tb.engine.now() + sim::sec(1));
+    start_level = std::max(start_level, tb.memory.level());
+  } else {
+    inducer_ = std::make_unique<PressureInducer>(tb, spec_.pressure);
+    // Shared flags: the signal callback may fire after this wait loop
+    // times out (while the video is already playing).
+    auto reached = std::make_shared<bool>(false);
+    auto level_at_signal = std::make_shared<mem::PressureLevel>(mem::PressureLevel::Normal);
+    inducer_->start([reached, level_at_signal, &tb] {
+      *reached = true;
+      // Level at the moment the target signal arrived (it keeps
+      // oscillating afterwards with the kill/respawn churn).
+      *level_at_signal = tb.memory.level();
+    });
+    // Give the inducer up to 5 simulated minutes to reach the target.
+    const sim::Time deadline = tb.engine.now() + sim::minutes(5);
+    while (!*reached && tb.engine.now() < deadline) {
+      tb.engine.run_until(tb.engine.now() + sim::msec(200));
+    }
+    start_level = *level_at_signal;
+  }
+
+  video::SessionConfig config = spec_.session_override.value_or(video::SessionConfig{});
+  if (!spec_.session_override.has_value()) {
+    config.asset = spec_.asset;
+    config.profile = video::PlayerProfile::for_platform(spec_.platform);
+    const auto rung = config.ladder.find(spec_.height, spec_.fps);
+    config.initial_rung = rung.value_or(config.ladder.rungs().front());
+    config.seed = stats::derive_seed(spec_.seed, 0xBEEF);
+  }
+
+  VideoRunResult result;
+  result.start_level = std::max(start_level, tb.memory.level());
+
+  session_ = std::make_unique<video::VideoSession>(tb.engine, tb.scheduler, tb.memory, tb.link,
+                                                   tb.tracer, config, spec_.abr);
+  bool finished = false;
+  const sim::Time video_start = tb.engine.now();
+  session_->start(tb.am.next_pid(), [&finished] { finished = true; });
+
+  // Horizon: generous multiple of the video duration; a session that
+  // cannot finish by then was unplayable.
+  const sim::Time horizon =
+      video_start + sim::sec(config.asset.duration_s * 3) + sim::minutes(2);
+  while (!finished && tb.engine.now() < horizon) {
+    tb.engine.run_until(tb.engine.now() + sim::sec(1));
+  }
+  tb.tracer.finalize(tb.engine.now());
+
+  result.metrics = session_->metrics();
+  qoe::RunOutcome& outcome = result.outcome;
+  outcome.crashed = result.metrics.crashed;
+  if (!finished && !result.metrics.crashed) {
+    // Unplayable without a kill (starved forever): classify every frame
+    // that never got presented as dropped (paper: "the video was either
+    // unplayable or the video client crashed").
+    const auto planned = static_cast<std::int64_t>(config.asset.duration_s) *
+                         config.initial_rung.fps;
+    result.metrics.frames_dropped =
+        std::max(result.metrics.frames_dropped, planned - result.metrics.frames_presented);
+  }
+  outcome.drop_rate = result.metrics.drop_rate();
+  if (result.metrics.crashed &&
+      result.metrics.frames_presented + result.metrics.frames_dropped <
+          config.initial_rung.fps) {
+    // Killed before a single second played: unplayable (paper: "the
+    // video was either unplayable or the video client crashed").
+    outcome.drop_rate = 1.0;
+  }
+  outcome.mean_pss_mb = result.metrics.pss_mb.mean();
+  outcome.peak_pss_mb = result.metrics.pss_mb.empty() ? 0.0 : result.metrics.pss_mb.max();
+  if (result.metrics.playback_start >= 0) {
+    outcome.startup_delay_s = sim::to_seconds(result.metrics.playback_start - video_start);
+  }
+  return result;
+}
+
+VideoRunResult run_video(const VideoRunSpec& spec) { return VideoExperiment(spec).run(); }
+
+qoe::RunAggregate run_video_repeated(VideoRunSpec spec, int runs) {
+  qoe::RunAggregate aggregate;
+  const std::uint64_t base_seed = spec.seed;
+  for (int i = 0; i < runs; ++i) {
+    spec.seed = stats::derive_seed(base_seed, static_cast<std::uint64_t>(i) + 1);
+    aggregate.add(run_video(spec).outcome);
+  }
+  return aggregate;
+}
+
+}  // namespace mvqoe::core

@@ -1,0 +1,73 @@
+// Controlled video experiments (§4): run a video on a device preset
+// under Normal / Moderate / Critical synthetic pressure or organic
+// background-app pressure, repeated across seeds, aggregated with 95%
+// CIs — the harness behind Figs 8-19 and Tables 2-5.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/pressure_inducer.hpp"
+#include "core/testbed.hpp"
+#include "qoe/metrics.hpp"
+#include "video/session.hpp"
+
+namespace mvqoe::core {
+
+struct VideoRunSpec {
+  DeviceProfile device = nexus5();
+  video::VideoAsset asset = video::dubai_flow_motion();
+  int height = 1080;
+  int fps = 30;
+  video::PlayerPlatform platform = video::PlayerPlatform::Firefox;
+  /// Synthetic pressure target, applied MP-Simulator style before the
+  /// video starts (§4.1). Ignored when organic_background_apps > 0.
+  mem::PressureLevel pressure = mem::PressureLevel::Normal;
+  /// Organic pressure instead: open this many top-free apps (no games)
+  /// before launching the player (§4.3).
+  int organic_background_apps = 0;
+  std::uint64_t seed = 1;
+  /// ABR policy; null = fixed rung (the controlled sweeps).
+  video::AbrPolicy* abr = nullptr;
+  /// Override the session defaults when set.
+  std::optional<video::SessionConfig> session_override;
+};
+
+struct VideoRunResult {
+  qoe::RunOutcome outcome;
+  video::SessionMetrics metrics;
+  /// Pressure level observed when playback started.
+  mem::PressureLevel start_level = mem::PressureLevel::Normal;
+};
+
+/// A single run with full access to the testbed afterwards — the §5
+/// trace-analysis benches (Tables 4/5, Figs 13-15) dissect the tracer.
+class VideoExperiment {
+ public:
+  explicit VideoExperiment(VideoRunSpec spec);
+  ~VideoExperiment();
+
+  /// Boot, apply pressure, play the video to completion (or crash), and
+  /// finalize the trace. Returns the aggregated result.
+  VideoRunResult run();
+
+  Testbed& testbed() noexcept { return *testbed_; }
+  video::VideoSession& session() noexcept { return *session_; }
+  /// Simulated time at which playback (frame deadlines) began.
+  sim::Time playback_start() const noexcept;
+
+ private:
+  VideoRunSpec spec_;
+  std::unique_ptr<Testbed> testbed_;
+  std::unique_ptr<PressureInducer> inducer_;
+  std::unique_ptr<video::VideoSession> session_;
+};
+
+/// Convenience single run.
+VideoRunResult run_video(const VideoRunSpec& spec);
+
+/// Paper methodology: repeat with distinct seeds (default 5 runs, §4.1)
+/// and aggregate.
+qoe::RunAggregate run_video_repeated(VideoRunSpec spec, int runs = 5);
+
+}  // namespace mvqoe::core

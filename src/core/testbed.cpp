@@ -1,0 +1,31 @@
+#include "core/testbed.hpp"
+
+#include "core/system_activity.hpp"
+
+namespace mvqoe::core {
+
+Testbed::Testbed(DeviceProfile profile, std::uint64_t seed)
+    : scheduler(engine, tracer, profile.scheduler),
+      storage(engine, scheduler, profile.storage),
+      memory(engine, profile.memory, scheduler, storage, tracer),
+      link(engine, net::LinkConfig{}),
+      am(memory),
+      profile_(std::move(profile)),
+      seed_(seed) {}
+
+Testbed::~Testbed() = default;
+
+void Testbed::add_background_duty(mem::ProcessId pid, sim::Time period) {
+  if (system_activity_ != nullptr) system_activity_->add_process(pid, period);
+}
+
+void Testbed::boot() {
+  am.boot(profile_.system_scale, profile_.baseline_cached);
+  am.enable_respawn(engine, profile_.baseline_cached);
+  system_activity_ = std::make_unique<SystemActivity>(*this);
+  system_activity_->start();
+  // Let launch allocations and any boot-time reclaim settle.
+  engine.run_until(engine.now() + sim::sec(2));
+}
+
+}  // namespace mvqoe::core

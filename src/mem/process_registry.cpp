@@ -1,0 +1,121 @@
+#include "mem/process_registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvqoe::mem {
+
+Pages pss_pages(const ProcessMem& process) noexcept {
+  return process.anon_resident + process.file_resident;
+}
+
+ProcessMem& ProcessRegistry::add(ProcessId pid, std::string name, int oom_adj,
+                                 std::function<void()> on_kill) {
+  auto [it, inserted] = processes_.try_emplace(pid);
+  assert((inserted || !it->second.alive) && "pid already registered and alive");
+  ProcessMem& process = it->second;
+  process = ProcessMem{};
+  process.pid = pid;
+  process.name = std::move(name);
+  process.oom_adj = oom_adj;
+  process.lru_seq = ++lru_clock_;
+  process.on_kill = std::move(on_kill);
+  return process;
+}
+
+ProcessMem* ProcessRegistry::find(ProcessId pid) noexcept {
+  const auto it = processes_.find(pid);
+  return it != processes_.end() && it->second.alive ? &it->second : nullptr;
+}
+
+const ProcessMem* ProcessRegistry::find(ProcessId pid) const noexcept {
+  const auto it = processes_.find(pid);
+  return it != processes_.end() && it->second.alive ? &it->second : nullptr;
+}
+
+bool ProcessRegistry::alive(ProcessId pid) const noexcept { return find(pid) != nullptr; }
+
+void ProcessRegistry::touch(ProcessId pid) noexcept {
+  if (ProcessMem* process = find(pid)) process->lru_seq = ++lru_clock_;
+}
+
+void ProcessRegistry::set_oom_adj(ProcessId pid, int adj) noexcept {
+  if (ProcessMem* process = find(pid)) process->oom_adj = adj;
+}
+
+void ProcessRegistry::set_killable(ProcessId pid, bool killable) noexcept {
+  if (ProcessMem* process = find(pid)) process->killable = killable;
+}
+
+ProcessRegistry::FreedPages ProcessRegistry::remove(ProcessId pid) {
+  FreedPages freed;
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) return freed;
+  freed.anon = it->second.anon_resident;
+  freed.swapped = it->second.anon_swapped;
+  freed.file = it->second.file_resident;
+  it->second.alive = false;
+  it->second.anon_resident = 0;
+  it->second.anon_swapped = 0;
+  it->second.file_resident = 0;
+  return freed;
+}
+
+int ProcessRegistry::cached_count() const noexcept {
+  int count = 0;
+  for (const auto& [pid, process] : processes_) {
+    if (process.alive && process.oom_adj >= OomAdj::kCached) ++count;
+  }
+  return count;
+}
+
+std::optional<ProcessId> ProcessRegistry::pick_victim(int min_adj) const noexcept {
+  // Highest oom_adj band first; within a band, the largest resident set
+  // (classic low-memory-killer selection), coldest LRU as the tiebreak.
+  const ProcessMem* best = nullptr;
+  for (const auto& [pid, process] : processes_) {
+    if (!process.alive || !process.killable || process.oom_adj < min_adj) continue;
+    if (best == nullptr || process.oom_adj > best->oom_adj ||
+        (process.oom_adj == best->oom_adj &&
+         (pss_pages(process) > pss_pages(*best) ||
+          (pss_pages(process) == pss_pages(*best) && process.lru_seq < best->lru_seq)))) {
+      best = &process;
+    }
+  }
+  return best != nullptr ? std::optional<ProcessId>(best->pid) : std::nullopt;
+}
+
+std::vector<ProcessMem*> ProcessRegistry::reclaim_order() {
+  std::vector<ProcessMem*> order;
+  order.reserve(processes_.size());
+  for (auto& [pid, process] : processes_) {
+    if (process.alive) order.push_back(&process);
+  }
+  std::sort(order.begin(), order.end(), [](const ProcessMem* a, const ProcessMem* b) {
+    if (a->oom_adj != b->oom_adj) return a->oom_adj > b->oom_adj;
+    if (a->lru_seq != b->lru_seq) return a->lru_seq < b->lru_seq;
+    return a->pid < b->pid;
+  });
+  return order;
+}
+
+std::vector<const ProcessMem*> ProcessRegistry::all() const {
+  std::vector<const ProcessMem*> out;
+  out.reserve(processes_.size());
+  for (const auto& [pid, process] : processes_) {
+    if (process.alive) out.push_back(&process);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProcessMem* a, const ProcessMem* b) { return a->pid < b->pid; });
+  return out;
+}
+
+std::size_t ProcessRegistry::live_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [pid, process] : processes_) {
+    if (process.alive) ++count;
+  }
+  return count;
+}
+
+}  // namespace mvqoe::mem

@@ -1,0 +1,106 @@
+// Per-process memory accounting and oom_adj bookkeeping.
+//
+// Android classifies processes into priority groups scored by oom_adj
+// (paper §2 "Killing of processes"); lmkd kills the highest-scored
+// process when pressure demands it, and the count of *cached* processes
+// remaining in the LRU drives the trim-signal level (paper footnote 6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hpp"
+
+namespace mvqoe::mem {
+
+using ProcessId = std::uint32_t;
+
+struct ProcessMem {
+  ProcessId pid = 0;
+  std::string name;
+  int oom_adj = OomAdj::kCached;
+  /// Resident anonymous (heap) pages.
+  Pages anon_resident = 0;
+  /// Anonymous pages compressed into zRAM.
+  Pages anon_swapped = 0;
+  /// Resident file-backed (code/resource) pages.
+  Pages file_resident = 0;
+  /// The process's file-backed working set: pages it re-touches while
+  /// running. Evicting below this causes refaults (thrashing).
+  Pages file_working_set = 0;
+  /// Hot (actively-used / pinned) anonymous pages: kswapd will not
+  /// compress below this floor — reclaim scanning them yields nothing,
+  /// which is exactly how the reclaim-efficiency pressure P collapses
+  /// when only working sets remain (paper §2: P high when few pages can
+  /// be reclaimed). The MP Simulator's allocations are fully hot.
+  Pages hot_pages = 0;
+  /// LRU stamp; smaller = colder = reclaimed/killed first within a band.
+  std::uint64_t lru_seq = 0;
+  bool alive = true;
+  /// lmkd may kill this process. The synthetic memory-pressure app is
+  /// marked unkillable, matching the paper's methodology where the MP
+  /// Simulator keeps pressure applied while victims die around it.
+  bool killable = true;
+  /// mlocked/pinned memory: excluded from the reclaim scanner's candidate
+  /// pool entirely (kernel unevictable list). The MP Simulator's native
+  /// allocations live here; ordinary hot working sets do NOT — they are
+  /// scanned fruitlessly, which is what degrades reclaim efficiency.
+  bool unevictable = false;
+  /// Invoked when lmkd kills the process (after its memory is freed).
+  std::function<void()> on_kill;
+};
+
+/// PSS proxy: resident anon + resident file pages. Shared-page
+/// proportionality is folded into the calibrated footprints.
+Pages pss_pages(const ProcessMem& process) noexcept;
+
+class ProcessRegistry {
+ public:
+  /// Register a process; replaces any dead entry with the same pid.
+  /// Registering an *alive* pid twice is a programming error.
+  ProcessMem& add(ProcessId pid, std::string name, int oom_adj,
+                  std::function<void()> on_kill = nullptr);
+
+  ProcessMem* find(ProcessId pid) noexcept;
+  const ProcessMem* find(ProcessId pid) const noexcept;
+  bool alive(ProcessId pid) const noexcept;
+
+  /// Mark most-recently-used (moves to the hot end of the LRU).
+  void touch(ProcessId pid) noexcept;
+  void set_oom_adj(ProcessId pid, int adj) noexcept;
+  void set_killable(ProcessId pid, bool killable) noexcept;
+
+  /// Remove from the registry, returning the pages it held.
+  struct FreedPages {
+    Pages anon = 0;
+    Pages swapped = 0;
+    Pages file = 0;
+  };
+  FreedPages remove(ProcessId pid);
+
+  /// Number of live processes with oom_adj >= OomAdj::kCached — the
+  /// cached/empty LRU count that drives trim levels.
+  int cached_count() const noexcept;
+
+  /// lmkd victim selection: the live killable process with the highest
+  /// oom_adj at or above `min_adj` (coldest LRU breaks ties). Returns
+  /// nullopt when no process qualifies.
+  std::optional<ProcessId> pick_victim(int min_adj) const noexcept;
+
+  /// Reclaim-order iteration: live processes sorted by (oom_adj desc,
+  /// LRU cold-first) — kswapd takes pages from these before warmer ones.
+  std::vector<ProcessMem*> reclaim_order();
+
+  std::vector<const ProcessMem*> all() const;
+  std::size_t live_count() const noexcept;
+
+ private:
+  std::unordered_map<ProcessId, ProcessMem> processes_;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace mvqoe::mem

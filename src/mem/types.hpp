@@ -1,0 +1,129 @@
+// Shared types for the Android-like memory-management model (paper §2).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mvqoe::mem {
+
+/// Page counts. 4 KiB pages, as on the paper's devices.
+using Pages = std::int64_t;
+constexpr std::int64_t kPageBytes = 4096;
+
+constexpr Pages pages_from_bytes(std::int64_t bytes) noexcept {
+  return (bytes + kPageBytes - 1) / kPageBytes;
+}
+constexpr Pages pages_from_mb(std::int64_t mb) noexcept { return mb * (1 << 20) / kPageBytes; }
+constexpr std::int64_t bytes_from_pages(Pages pages) noexcept { return pages * kPageBytes; }
+constexpr double mb_from_pages(Pages pages) noexcept {
+  return static_cast<double>(pages) * kPageBytes / (1 << 20);
+}
+
+/// Memory-pressure levels delivered to applications via onTrimMemory()
+/// (paper §2 "Memory pressure signals for applications"). Order matters:
+/// higher enum value = more severe.
+enum class PressureLevel : std::uint8_t { Normal = 0, Moderate = 1, Low = 2, Critical = 3 };
+
+const char* to_string(PressureLevel level) noexcept;
+
+/// Android oom_adj priority bands (paper §2 "Killing of processes").
+/// Higher score = lower priority = killed earlier.
+struct OomAdj {
+  static constexpr int kForeground = 0;
+  static constexpr int kVisible = 100;
+  static constexpr int kPerceptible = 200;
+  static constexpr int kService = 500;
+  static constexpr int kCached = 900;
+};
+
+struct MemoryConfig {
+  Pages total = pages_from_mb(1024);
+  /// Kernel text/reserved carve-out, never reclaimable.
+  Pages kernel_reserved = pages_from_mb(280);
+  /// zRAM pool capacity, counted in *uncompressed* pages stored.
+  Pages zram_capacity = pages_from_mb(450);
+  /// Compression ratio: stored page occupies 1/ratio physical pages.
+  double zram_compression = 2.8;
+
+  /// Low-memory watermarks (paper §2: kswapd wakes below `low`, reclaims
+  /// until `high`; allocations below `min` enter direct reclaim).
+  Pages watermark_min = pages_from_mb(8);
+  Pages watermark_low = pages_from_mb(36);
+  Pages watermark_high = pages_from_mb(56);
+
+  /// Reclaim CPU costs, reference-µs per page. Compression includes the
+  /// LRU manipulation + zsmalloc overhead on the kswapd thread; a swap-in
+  /// costs a full page-fault path (trap, lookup, decompress, map) on the
+  /// *faulting* thread — tens of µs on the little cores the paper's
+  /// devices use, which is precisely why thrashing murders the decoder.
+  /// LRU scanning with workingset checks costs ~2 µs/page on a little
+  /// core; LZ4+zsmalloc store ~20-25 µs/page. These are what make kswapd
+  /// a top-running thread under sustained reclaim (paper Fig 13).
+  double scan_cpu_refus = 2.0;
+  double compress_cpu_refus = 22.0;
+  double decompress_cpu_refus = 30.0;
+  /// Page-fault CPU for a file refault (readahead amortizes the trap).
+  double file_fault_cpu_refus = 5.0;
+  Pages kswapd_batch = 192;
+  /// Back-off when a batch reclaims nothing (avoids a busy spin while
+  /// waiting for lmkd or writeback to make progress).
+  sim::Time kswapd_backoff = sim::msec(40);
+
+  /// Trim-signal thresholds: number of cached/empty processes in the LRU
+  /// at or below which each level fires (paper footnote 6: 6/5/3 on the
+  /// 1 GB Nokia 1).
+  int trim_moderate = 6;
+  int trim_low = 5;
+  int trim_critical = 3;
+
+  /// lmkd pressure bands (paper §2): 60 < P < 95 kills high-oom_adj
+  /// processes, P >= 95 makes the foreground itself eligible.
+  double lmkd_kill_threshold = 60.0;
+  double lmkd_foreground_threshold = 95.0;
+  /// oom_adj floor for the 60<P<95 band.
+  int lmkd_background_adj_floor = OomAdj::kService;
+  double lmkd_kill_cpu_refus = 2500.0;
+  /// EMA smoothing for P across scan batches.
+  double pressure_ema_alpha = 0.35;
+
+  /// lmkd minfree table: kill processes of (at least) the given band when
+  /// available memory (free + file cache) drops below the threshold —
+  /// Android's classic low-memory-killer levels, which fire long before
+  /// reclaim actually fails. Scaled up on larger-RAM devices, which is
+  /// why bigger devices emit pressure signals at higher available memory
+  /// (paper Fig 5).
+  /// Ordering note: these sit *below* the kswapd watermarks in practice —
+  /// reclaim (compression, writeback, thrashing) engages first; kills
+  /// start only once reclaim cannot hold available memory up.
+  Pages minfree_cached = pages_from_mb(44);       // oom_adj >= kCached
+  Pages minfree_service = pages_from_mb(28);      // oom_adj >= kService
+  Pages minfree_perceptible = pages_from_mb(19);  // oom_adj >= kPerceptible
+  Pages minfree_foreground = pages_from_mb(12);   // oom_adj >= kForeground
+
+  /// Direct reclaim: scan rounds attempted synchronously before the
+  /// allocation parks on the waiter queue.
+  int direct_reclaim_rounds = 3;
+  /// Kernel OOM killer: an allocation parked longer than this triggers an
+  /// out-of-memory kill of the highest-score victim (paper §2: direct
+  /// reclaim blocks "until it can free up the memory requested").
+  sim::Time oom_kill_timeout = sim::msec(1500);
+};
+
+/// /proc/vmstat-like counters.
+struct VmStat {
+  std::uint64_t pgscan_kswapd = 0;
+  std::uint64_t pgsteal_kswapd = 0;
+  std::uint64_t pgscan_direct = 0;
+  std::uint64_t pgsteal_direct = 0;
+  std::uint64_t pswpout = 0;  // pages compressed to zram
+  std::uint64_t pswpin = 0;   // pages decompressed from zram
+  std::uint64_t pgpgin = 0;   // file pages read from storage
+  std::uint64_t pgpgout = 0;  // dirty file pages written back
+  std::uint64_t kswapd_wakeups = 0;
+  std::uint64_t direct_reclaim_entries = 0;
+  std::uint64_t kills_lmkd = 0;
+  std::uint64_t trim_signals[4] = {0, 0, 0, 0};  // indexed by PressureLevel
+};
+
+}  // namespace mvqoe::mem

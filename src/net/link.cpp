@@ -1,0 +1,37 @@
+#include "net/link.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mvqoe::net {
+
+Link::Link(sim::Engine& engine, LinkConfig config) : engine_(engine), config_(config) {}
+
+sim::Time Link::idle_transfer_time(std::uint64_t bytes) const noexcept {
+  const double micros = static_cast<double>(bytes) * 8.0 / (config_.rate_mbps * 1e6) * 1e6;
+  return config_.propagation + config_.per_transfer_overhead +
+         static_cast<sim::Time>(std::ceil(micros));
+}
+
+void Link::transfer(std::uint64_t bytes, std::function<void()> on_complete) {
+  queue_.push_back(Pending{bytes, std::move(on_complete)});
+  if (!busy_) pump();
+}
+
+void Link::pump() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending next = std::move(queue_.front());
+  queue_.pop_front();
+  engine_.schedule(idle_transfer_time(next.bytes),
+                   [this, next = std::move(next)]() mutable {
+                     bytes_delivered_ += next.bytes;
+                     if (next.on_complete) next.on_complete();
+                     pump();
+                   });
+}
+
+}  // namespace mvqoe::net

@@ -1,0 +1,59 @@
+// Network substrate: the dedicated WiFi LAN of the paper's testbed
+// (Fig 7). A serialized FIFO link with fixed rate and propagation delay —
+// provisioned in the experiments so it is never the bottleneck (§4.1:
+// "the playback buffer filled up quickly and then remained at maximum
+// capacity"), but implemented rather than assumed so the download path
+// exists and can be throttled in ablations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace mvqoe::net {
+
+struct LinkConfig {
+  double rate_mbps = 80.0;          // WiFi LAN application throughput
+  sim::Time propagation = sim::msec(2);
+  /// Fixed per-transfer overhead (HTTP request/response, TCP ramp).
+  sim::Time per_transfer_overhead = sim::msec(6);
+};
+
+/// One-direction link delivering transfers FIFO at the configured rate.
+class Link {
+ public:
+  Link(sim::Engine& engine, LinkConfig config);
+
+  /// Deliver `bytes` to the receiver; `on_complete` fires when the last
+  /// byte arrives. Transfers share the link serially (HTTP/1.1-style
+  /// sequential segment fetches, as dash.js performs them).
+  void transfer(std::uint64_t bytes, std::function<void()> on_complete);
+
+  /// Wall time a transfer of `bytes` takes on an idle link.
+  sim::Time idle_transfer_time(std::uint64_t bytes) const noexcept;
+
+  std::size_t queued() const noexcept { return queue_.size(); }
+  bool busy() const noexcept { return busy_; }
+  std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
+  const LinkConfig& config() const noexcept { return config_; }
+
+  /// Change the link rate mid-run (network-variability ablations).
+  void set_rate_mbps(double rate_mbps) noexcept { config_.rate_mbps = rate_mbps; }
+
+ private:
+  struct Pending {
+    std::uint64_t bytes = 0;
+    std::function<void()> on_complete;
+  };
+  void pump();
+
+  sim::Engine& engine_;
+  LinkConfig config_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace mvqoe::net

@@ -1,0 +1,90 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace mvqoe::sim {
+
+EventId Engine::schedule_at(Time t, Callback fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_seq_;
+  heap_.push(Entry{t, next_seq_, id});
+  ++next_seq_;
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule(Time delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    const auto cancelled = cancelled_.find(top.id);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // defensive; cancel covers this
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time t) {
+  while (!heap_.empty()) {
+    // Skip over cancelled entries without advancing the clock.
+    const Entry top = heap_.top();
+    if (cancelled_.count(top.id) != 0) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, Time period, Engine::Callback fn)
+    : engine_(engine), period_(period > 0 ? period : 1), fn_(std::move(fn)) {}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start() {
+  if (pending_ != kInvalidEvent) return;
+  pending_ = engine_.schedule(period_, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (pending_ == kInvalidEvent) return;
+  engine_.cancel(pending_);
+  pending_ = kInvalidEvent;
+}
+
+void PeriodicTask::fire() {
+  pending_ = engine_.schedule(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace mvqoe::sim

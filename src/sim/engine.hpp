@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// A single Engine instance owns the simulated clock and an event queue of
+// (time, sequence, callback) entries. Components schedule callbacks; the
+// engine dispatches them in time order (FIFO among same-time events, so
+// the simulation is fully deterministic). Events can be cancelled by id —
+// the scheduler uses this heavily for timeslice expiry and sleep timers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mvqoe::sim {
+
+/// Handle to a scheduled event; kInvalidEvent compares false-y.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (clamped to now()).
+  EventId schedule_at(Time t, Callback fn);
+  /// Schedule `fn` to run `delay` from now (negative delays clamp to 0).
+  EventId schedule(Time delay, Callback fn);
+
+  /// Cancel a pending event. Returns true if the event was still pending.
+  /// Cancelling an already-fired or invalid id is a harmless no-op.
+  bool cancel(EventId id);
+
+  /// Run events until the queue is empty or the clock would pass `t`;
+  /// the clock is left at min(t, last event time >= now). Events scheduled
+  /// exactly at `t` do run.
+  void run_until(Time t);
+
+  /// Run until the event queue is fully drained.
+  void run();
+
+  /// Process a single event if one is pending; returns false when idle.
+  bool step();
+
+  std::size_t pending_events() const noexcept { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Repeats a callback at a fixed period until stopped. Used for periodic
+/// samplers (vmstat/PSS logging, lmkd pressure polling, vsync).
+class PeriodicTask {
+ public:
+  PeriodicTask(Engine& engine, Time period, Engine::Callback fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void stop();
+  bool running() const noexcept { return pending_ != kInvalidEvent; }
+
+ private:
+  void fire();
+
+  Engine& engine_;
+  Time period_;
+  Engine::Callback fn_;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace mvqoe::sim

@@ -1,0 +1,55 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/summary.hpp"
+
+namespace mvqoe::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  std::size_t bin = 0;
+  if (span > 0.0) {
+    const double rel = (x - lo_) / span * static_cast<double>(counts_.size());
+    if (rel >= 0.0) bin = static_cast<std::size_t>(rel);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_count(std::size_t bin, std::size_t count) noexcept {
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  counts_[bin] += count;
+  total_ += count;
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const noexcept { return bin_low(bin + 1); }
+
+double Histogram::fraction(std::size_t bin) const noexcept {
+  return total_ == 0 ? 0.0 : static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double frac = peak == 0 ? 0.0 : static_cast<double>(counts_[i]) / static_cast<double>(peak);
+    std::snprintf(line, sizeof line, "  [%8.2f, %8.2f) %6zu |%s\n", bin_low(i), bin_high(i),
+                  counts_[i], ascii_bar(frac, width).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mvqoe::stats

@@ -1,0 +1,39 @@
+// Fixed-bin histogram used for DMOS score distributions (Fig 10), the
+// Fig 1 usage heatmap counts, and diagnostic distributions in tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mvqoe::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins covering [lo, hi); values outside are clamped into the
+  /// first/last bin so no sample is silently dropped.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_count(std::size_t bin, std::size_t count) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  std::size_t total() const noexcept { return total_; }
+  double bin_low(std::size_t bin) const noexcept;
+  double bin_high(std::size_t bin) const noexcept;
+  /// Fraction of all samples in this bin (0 when empty).
+  double fraction(std::size_t bin) const noexcept;
+
+  /// Multi-line ASCII rendering with one row per bin — bench binaries use
+  /// this to sketch the paper's histogram figures in text output.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mvqoe::stats

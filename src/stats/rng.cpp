@@ -1,0 +1,141 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mvqoe::stats {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept {
+  std::uint64_t s = parent ^ (0x6a09e667f3bcc909ULL + stream * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not be seeded with all-zero state; splitmix64 of any seed
+  // cannot produce four zero words, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % span;
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double mean) noexcept {
+  // -mean * log(U), guarding against log(0).
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // coarse event-count draws this simulator needs at large means.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return 0;
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (pick < w) return i;
+    pick -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace mvqoe::stats

@@ -1,0 +1,146 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvqoe::stats {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+MeanCi mean_ci(const std::vector<double>& xs) noexcept {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  MeanCi out;
+  out.mean = acc.mean();
+  out.ci95 = acc.ci95_halfwidth();
+  out.min = acc.empty() ? 0.0 : acc.min();
+  out.max = acc.empty() ? 0.0 : acc.max();
+  out.n = acc.count();
+  return out;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back({xs[i], static_cast<double>(i + 1) / static_cast<double>(xs.size())});
+  }
+  return out;
+}
+
+BoxStats box_stats(std::vector<double> xs) {
+  BoxStats box;
+  if (xs.empty()) return box;
+  box.n = xs.size();
+  std::sort(xs.begin(), xs.end());
+  box.min = xs.front();
+  box.max = xs.back();
+  // percentile() re-sorts a copy; accept the redundancy for clarity — the
+  // sample sizes here are small (per-device dwell times, 5-run metrics).
+  box.q25 = percentile(xs, 25.0);
+  box.median = percentile(xs, 50.0);
+  box.q75 = percentile(xs, 75.0);
+  return box;
+}
+
+ViolinSummary violin_summary(std::vector<double> xs, std::size_t grid_points) {
+  ViolinSummary vs;
+  if (xs.empty() || grid_points == 0) return vs;
+  vs.box = box_stats(xs);
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  vs.mean = acc.mean();
+
+  const double lo = vs.box.min;
+  const double hi = vs.box.max;
+  const double span = hi - lo;
+  // Silverman's rule-of-thumb bandwidth; fall back to a span fraction when
+  // the sample is (near-)constant.
+  double bw = 1.06 * acc.stddev() * std::pow(static_cast<double>(xs.size()), -0.2);
+  if (bw <= 0.0) bw = span > 0.0 ? span / 10.0 : 1.0;
+
+  vs.grid.resize(grid_points);
+  vs.density.assign(grid_points, 0.0);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double g =
+        lo + (grid_points == 1 ? 0.0
+                               : span * static_cast<double>(i) / static_cast<double>(grid_points - 1));
+    vs.grid[i] = g;
+    double d = 0.0;
+    for (double x : xs) {
+      const double z = (g - x) / bw;
+      d += std::exp(-0.5 * z * z);
+    }
+    vs.density[i] = d;
+    peak = std::max(peak, d);
+  }
+  if (peak > 0.0) {
+    for (double& d : vs.density) d /= peak;
+  }
+  return vs;
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const std::size_t filled = static_cast<std::size_t>(fraction * static_cast<double>(width) + 0.5);
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+}  // namespace mvqoe::stats

@@ -1,0 +1,88 @@
+// Descriptive statistics used throughout the benchmark harnesses: means
+// with 95% confidence intervals (the paper reports 5-run means with 95%
+// CIs), percentiles/CDFs (Fig 2), box statistics (Fig 6), and violin
+// summaries (Fig 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mvqoe::stats {
+
+/// Streaming accumulator for mean / variance (Welford) plus min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator into this one (parallel-combine safe).
+  void merge(const Accumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean() * static_cast<double>(n_); }
+  /// Half-width of the 95% confidence interval on the mean, using the
+  /// normal critical value (1.96); 0 for fewer than two samples.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point summary of a sample: mean, CI, extremes.
+struct MeanCi {
+  double mean = 0.0;
+  double ci95 = 0.0;  // half-width
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+/// Mean and 95% CI of a sample.
+MeanCi mean_ci(const std::vector<double>& xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty xs.
+double percentile(std::vector<double> xs, double p);
+
+/// Empirical CDF evaluated at each sorted sample point.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  // P(X <= value)
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// Five-number summary used for boxplots (Fig 6 dwell-time boxes).
+struct BoxStats {
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+BoxStats box_stats(std::vector<double> xs);
+
+/// Compact violin summary (Fig 5): quartiles plus a fixed-grid kernel
+/// density estimate so the bench can print the violin profile.
+struct ViolinSummary {
+  BoxStats box;
+  double mean = 0.0;
+  std::vector<double> grid;     // evaluation points, low..high
+  std::vector<double> density;  // KDE values at grid points, peak-normalized
+};
+ViolinSummary violin_summary(std::vector<double> xs, std::size_t grid_points = 24);
+
+/// Render a fraction in [0,1] as a fixed-width unicode-free ASCII bar,
+/// e.g. "#####....." — used by bench binaries to sketch figures in text.
+std::string ascii_bar(double fraction, std::size_t width = 30);
+
+}  // namespace mvqoe::stats

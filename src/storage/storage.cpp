@@ -1,0 +1,64 @@
+#include "storage/storage.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mvqoe::storage {
+
+StorageDevice::StorageDevice(sim::Engine& engine, sched::Scheduler& scheduler,
+                             StorageConfig config)
+    : engine_(engine), scheduler_(scheduler), config_(config) {
+  sched::ThreadSpec spec;
+  spec.name = "mmcqd";
+  spec.pid = 1;  // kernel
+  spec.process_name = "kernel";
+  spec.sched_class = sched::SchedClass::Realtime;
+  spec.priority = config_.rt_priority;
+  mmcqd_ = scheduler_.create_thread(spec);
+}
+
+sim::Time StorageDevice::transfer_time(bool write, std::uint64_t bytes) const noexcept {
+  const double mbps = write ? config_.write_bandwidth_mbps : config_.read_bandwidth_mbps;
+  const double micros = static_cast<double>(bytes) / (mbps * 1e6) * 1e6;
+  return config_.request_latency + static_cast<sim::Time>(std::ceil(micros));
+}
+
+void StorageDevice::submit(IoRequest request) {
+  queue_.push_back(std::move(request));
+  if (!active_) pump();
+}
+
+void StorageDevice::pump() {
+  if (queue_.empty()) {
+    active_ = false;
+    return;
+  }
+  active_ = true;
+  // Dispatch phase: mmcqd wakes and burns CPU issuing the request. This
+  // wakeup is what preempts fair-class threads.
+  scheduler_.run_work(mmcqd_, config_.dispatch_cpu_refus, [this] {
+    IoRequest request = std::move(queue_.front());
+    queue_.pop_front();
+    if (request.write) {
+      ++counters_.writes;
+      counters_.written_bytes += request.bytes;
+    } else {
+      ++counters_.reads;
+      counters_.read_bytes += request.bytes;
+    }
+    // Device transfer: mmcqd blocks while the eMMC moves the data.
+    scheduler_.mark_blocked_io(mmcqd_);
+    const sim::Time transfer = transfer_time(request.write, request.bytes);
+    engine_.schedule(transfer, [this, request = std::move(request)]() mutable {
+      // Completion phase: another CPU burst (another preemption), then the
+      // requester's callback and the next queued request.
+      scheduler_.run_work(mmcqd_, config_.completion_cpu_refus,
+                          [this, on_complete = std::move(request.on_complete)] {
+                            if (on_complete) on_complete();
+                            pump();
+                          });
+    });
+  });
+}
+
+}  // namespace mvqoe::storage

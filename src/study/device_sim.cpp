@@ -1,0 +1,220 @@
+#include "study/device_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/memory_manager.hpp"
+#include "stats/summary.hpp"
+#include "proc/activity_manager.hpp"
+#include "sim/engine.hpp"
+
+namespace mvqoe::study {
+
+double DeviceStudyResult::signals_per_hour(int level) const noexcept {
+  return hours_logged > 0.0
+             ? static_cast<double>(signals[static_cast<std::size_t>(level)]) / hours_logged
+             : 0.0;
+}
+
+double DeviceStudyResult::total_signals_per_hour() const noexcept {
+  return signals_per_hour(1) + signals_per_hour(2) + signals_per_hour(3);
+}
+
+double DeviceStudyResult::fraction_in_level(int level) const noexcept {
+  const double total = hours_logged * 3600.0;
+  return total > 0.0 ? seconds_in_level[static_cast<std::size_t>(level)] / total : 0.0;
+}
+
+double DeviceStudyResult::fraction_not_normal() const noexcept {
+  return fraction_in_level(1) + fraction_in_level(2) + fraction_in_level(3);
+}
+
+namespace {
+
+/// Reservoir sampler with a fixed capacity.
+class Reservoir {
+ public:
+  Reservoir(std::vector<double>& sink, std::size_t capacity, stats::Rng& rng)
+      : sink_(sink), capacity_(capacity), rng_(rng) {}
+
+  void add(double value) {
+    ++seen_;
+    if (sink_.size() < capacity_) {
+      sink_.push_back(value);
+      return;
+    }
+    const auto slot = static_cast<std::uint64_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+    if (slot < capacity_) sink_[static_cast<std::size_t>(slot)] = value;
+  }
+
+ private:
+  std::vector<double>& sink_;
+  std::size_t capacity_;
+  stats::Rng& rng_;
+  std::uint64_t seen_ = 0;
+};
+
+/// Streaming apps the usage model can run in the foreground; heavier than
+/// the catalog average and growing while streaming.
+const std::vector<proc::AppSpec>& media_apps() {
+  using mem::pages_from_mb;
+  static const std::vector<proc::AppSpec> apps = {
+      {"com.youtube", pages_from_mb(185), pages_from_mb(55), pages_from_mb(3), false},
+      {"com.netflix", pages_from_mb(170), pages_from_mb(50), pages_from_mb(2), false},
+      {"com.spotify.play", pages_from_mb(110), pages_from_mb(35), pages_from_mb(1) / 2, false},
+  };
+  return apps;
+}
+
+}  // namespace
+
+DeviceStudyResult simulate_device(const StudyDevice& device, std::uint64_t seed) {
+  DeviceStudyResult result;
+  result.device = device;
+
+  sim::Engine engine;
+  const core::DeviceProfile profile = device.profile();
+  mem::MemoryManager memory(engine, profile.memory);
+  proc::ActivityManager am(memory);
+  am.boot(profile.system_scale, profile.baseline_cached);
+  am.enable_respawn(engine, profile.baseline_cached);
+
+  stats::Rng rng(stats::derive_seed(seed, static_cast<std::uint64_t>(device.index) + 7777));
+  Reservoir util_reservoir(result.utilization_samples, 7200, rng);
+  std::array<std::unique_ptr<Reservoir>, kLevels> avail_reservoirs;
+  for (int level = 0; level < kLevels; ++level) {
+    avail_reservoirs[static_cast<std::size_t>(level)] = std::make_unique<Reservoir>(
+        result.available_mb_by_state[static_cast<std::size_t>(level)], 2000, rng);
+  }
+
+  // Signals: count every delivery of a non-Normal level.
+  memory.subscribe_trim([&result](mem::PressureLevel level) {
+    ++result.signals[static_cast<std::size_t>(level)];
+  });
+
+  // Per-app bookkeeping for foreground growth and user app choices.
+  std::unordered_map<proc::ProcessId, proc::AppSpec> user_apps;
+  std::vector<proc::ProcessId> open_order;
+
+  const UserProfile& user = device.user;
+  const double action_prob = user.app_switches_per_minute / 60.0;
+
+  auto pick_app = [&]() -> proc::AppSpec {
+    // Activity ratings weight the choice: video streaming first.
+    const double video_w = static_cast<double>(user.rating_video);
+    const double music_w = static_cast<double>(user.rating_music) * 0.5;
+    const double game_w = static_cast<double>(user.rating_games) * 0.4;
+    const double social_w = 4.0;
+    const std::size_t kind = rng.weighted_index({video_w, music_w, game_w, social_w});
+    switch (kind) {
+      case 0: return media_apps()[static_cast<std::size_t>(rng.uniform_int(0, 1))];
+      case 1: return media_apps()[2];
+      case 2: {
+        const auto& games = proc::game_apps();
+        return games[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(games.size()) - 1))];
+      }
+      default: {
+        const auto& apps = proc::top_free_apps();
+        return apps[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(apps.size()) - 1))];
+      }
+    }
+  };
+
+  auto cleanup_dead = [&] {
+    open_order.erase(std::remove_if(open_order.begin(), open_order.end(),
+                                    [&](proc::ProcessId pid) {
+                                      if (memory.registry().alive(pid)) return false;
+                                      user_apps.erase(pid);
+                                      return true;
+                                    }),
+                     open_order.end());
+  };
+
+  const auto total_seconds = static_cast<std::int64_t>(device.interactive_hours * 3600.0);
+  mem::PressureLevel previous_level = memory.level();
+  sim::Time state_entered = engine.now();
+
+  for (std::int64_t second = 0; second < total_seconds; ++second) {
+    engine.run_until(engine.now() + sim::sec(1));
+    cleanup_dead();
+
+    // User action?
+    if (rng.bernoulli(action_prob)) {
+      const double action = rng.uniform();
+      if (action < 0.45 || open_order.empty()) {
+        const proc::AppSpec app = pick_app();
+        const proc::ProcessId pid = am.launch(app);
+        user_apps[pid] = app;
+        open_order.push_back(pid);
+      } else if (action < 0.85) {
+        const auto index = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(open_order.size()) - 1));
+        am.bring_to_foreground(open_order[index]);
+      } else {
+        am.close(open_order.front());
+        user_apps.erase(open_order.front());
+        open_order.erase(open_order.begin());
+      }
+      // Multitasking cap: close the oldest background apps beyond it.
+      while (static_cast<int>(open_order.size()) > user.max_open_apps) {
+        am.close(open_order.front());
+        user_apps.erase(open_order.front());
+        open_order.erase(open_order.begin());
+      }
+    }
+
+    // Foreground app grows (feeds, buffers).
+    const proc::ProcessId foreground = am.foreground();
+    if (foreground != 0) {
+      const auto it = user_apps.find(foreground);
+      if (it != user_apps.end() && it->second.growth_pages_per_sec > 0) {
+        memory.alloc_anon(foreground, it->second.growth_pages_per_sec, 0, nullptr);
+      }
+    }
+
+    // SignalCapturer's per-second log line.
+    const auto level = memory.level();
+    const auto level_index = static_cast<std::size_t>(level);
+    util_reservoir.add(memory.utilization());
+    avail_reservoirs[level_index]->add(mem::mb_from_pages(memory.available_pages()));
+    result.seconds_in_level[level_index] += 1.0;
+    if (level != previous_level) {
+      const auto from = static_cast<std::size_t>(previous_level);
+      result.transitions[from][level_index] += 1;
+      result.dwell_seconds[from].push_back(sim::to_seconds(engine.now() - state_entered));
+      previous_level = level;
+      state_entered = engine.now();
+    }
+  }
+
+  result.hours_logged = static_cast<double>(total_seconds) / 3600.0;
+  result.median_utilization = result.utilization_samples.empty()
+                                  ? 0.0
+                                  : stats::percentile(result.utilization_samples, 50.0);
+  return result;
+}
+
+std::vector<DeviceStudyResult> run_study(const std::vector<StudyDevice>& population,
+                                         std::uint64_t seed) {
+  std::vector<DeviceStudyResult> results;
+  results.reserve(population.size());
+  for (const StudyDevice& device : population) {
+    results.push_back(simulate_device(device, seed));
+  }
+  return results;
+}
+
+std::vector<DeviceStudyResult> clean(std::vector<DeviceStudyResult> results, double min_hours) {
+  results.erase(std::remove_if(results.begin(), results.end(),
+                               [min_hours](const DeviceStudyResult& result) {
+                                 return result.hours_logged <= min_hours;
+                               }),
+                results.end());
+  return results;
+}
+
+}  // namespace mvqoe::study

@@ -1,0 +1,61 @@
+// Per-device usage simulation for the field study: the SignalCapturer
+// counterpart. Runs the device's interactive hours through an
+// immediate-mode memory manager, driving app launches/switches/closes
+// from the user profile, and streams the same observations the paper's
+// app logged every second: available memory, current pressure state,
+// plus derived statistics (signal counts, state dwell times,
+// transitions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hpp"
+#include "study/population.hpp"
+
+namespace mvqoe::study {
+
+constexpr int kLevels = 4;  // Normal, Moderate, Low, Critical
+
+struct DeviceStudyResult {
+  StudyDevice device;
+  double hours_logged = 0.0;
+
+  /// Reservoir-sampled per-second RAM utilization (1 - available/total).
+  std::vector<double> utilization_samples;
+  double median_utilization = 0.0;
+
+  /// Trim signals received, by level (index 1..3 meaningful).
+  std::array<std::uint64_t, kLevels> signals{};
+  /// Seconds spent with each level as the current state.
+  std::array<double, kLevels> seconds_in_level{};
+
+  /// Fig 6: transitions[from][to] counts, and dwell-time samples (s) in
+  /// `from` before each transition.
+  std::array<std::array<std::uint64_t, kLevels>, kLevels> transitions{};
+  std::array<std::vector<double>, kLevels> dwell_seconds;
+
+  /// Fig 5: available memory (MB) sampled while in each state.
+  std::array<std::vector<double>, kLevels> available_mb_by_state;
+
+  double signals_per_hour(int level) const noexcept;
+  double total_signals_per_hour() const noexcept;
+  double fraction_in_level(int level) const noexcept;
+  double fraction_not_normal() const noexcept;
+};
+
+/// Simulate one device's interactive time. Deterministic per seed.
+DeviceStudyResult simulate_device(const StudyDevice& device, std::uint64_t seed);
+
+/// Run the whole study; returns one result per device (uncleaned —
+/// apply the > 10 h rule downstream, as the paper does).
+std::vector<DeviceStudyResult> run_study(const std::vector<StudyDevice>& population,
+                                         std::uint64_t seed);
+
+/// Data-cleaning rule (§3): keep devices with more than `min_hours` of
+/// interactive data.
+std::vector<DeviceStudyResult> clean(std::vector<DeviceStudyResult> results,
+                                     double min_hours = 10.0);
+
+}  // namespace mvqoe::study

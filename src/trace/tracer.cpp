@@ -1,0 +1,63 @@
+#include "trace/tracer.hpp"
+
+namespace mvqoe::trace {
+
+const char* to_string(ThreadState s) noexcept {
+  switch (s) {
+    case ThreadState::Created: return "Created";
+    case ThreadState::Running: return "Running";
+    case ThreadState::Runnable: return "Runnable";
+    case ThreadState::RunnablePreempted: return "Runnable (Preempted)";
+    case ThreadState::Sleeping: return "Sleeping";
+    case ThreadState::BlockedIo: return "Blocked I/O";
+    case ThreadState::Terminated: return "Terminated";
+  }
+  return "?";
+}
+
+void Tracer::register_thread(const ThreadMeta& meta) { threads_[meta.tid] = meta; }
+
+const ThreadMeta* Tracer::thread(ThreadId tid) const noexcept {
+  const auto it = threads_.find(tid);
+  return it == threads_.end() ? nullptr : &it->second;
+}
+
+void Tracer::state_change(ThreadId tid, sim::Time at, ThreadState next, ThreadId preemptor) {
+  auto& open = open_[tid];
+  if (open.open && at > open.begin) {
+    intervals_.push_back(StateInterval{tid, open.begin, at, open.state, open.preemptor});
+  }
+  open.begin = at;
+  open.state = next;
+  open.preemptor = next == ThreadState::RunnablePreempted ? preemptor : kNoThread;
+  open.open = next != ThreadState::Terminated;
+}
+
+void Tracer::preemption(const PreemptionRecord& rec) { preemptions_.push_back(rec); }
+
+void Tracer::instant(InstantKind kind, sim::Time at, ThreadId tid, std::int64_t value) {
+  instants_.push_back(InstantEvent{kind, at, tid, value});
+}
+
+void Tracer::counter(const std::string& name, sim::Time at, double value) {
+  counters_.push_back(CounterSample{name, at, value});
+}
+
+void Tracer::finalize(sim::Time at) {
+  for (auto& [tid, open] : open_) {
+    if (open.open && at > open.begin) {
+      intervals_.push_back(StateInterval{tid, open.begin, at, open.state, open.preemptor});
+      open.begin = at;
+    }
+  }
+}
+
+void Tracer::clear_events() {
+  intervals_.clear();
+  preemptions_.clear();
+  instants_.clear();
+  counters_.clear();
+  open_.clear();
+}
+
+}  // namespace mvqoe::trace

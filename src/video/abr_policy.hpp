@@ -1,0 +1,74 @@
+// ABR policy interface. The session consults the policy before every
+// segment download; the context deliberately includes *both* the
+// network-side signals classic ABR uses (buffer, throughput) and the
+// device-side signals the paper argues for (§6/§7): the current
+// onTrimMemory pressure level and the recently observed frame-drop rate.
+// Concrete policies live in src/abr; the video module ships only the
+// fixed-rung policy the controlled experiments (§4) use.
+#pragma once
+
+#include <string>
+
+#include "mem/types.hpp"
+#include "video/ladder.hpp"
+
+namespace mvqoe::video {
+
+struct AbrContext {
+  /// Media seconds currently buffered ahead of the playhead.
+  double buffer_seconds = 0.0;
+  /// Smoothed download throughput estimate.
+  double throughput_mbps = 0.0;
+  Rung current;
+  const BitrateLadder* ladder = nullptr;
+  /// Device memory-pressure level at decision time (onTrimMemory).
+  mem::PressureLevel pressure = mem::PressureLevel::Normal;
+  /// Frame-drop fraction over the recent window (~5 s).
+  double recent_drop_rate = 0.0;
+  int segment_index = 0;
+};
+
+class AbrPolicy {
+ public:
+  virtual ~AbrPolicy() = default;
+  virtual Rung choose(const AbrContext& context) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Plays one rung for the whole session — the paper's controlled sweeps.
+class FixedAbr final : public AbrPolicy {
+ public:
+  explicit FixedAbr(Rung rung) : rung_(rung) {}
+  Rung choose(const AbrContext&) override { return rung_; }
+  std::string name() const override { return "fixed(" + rung_.label() + ")"; }
+
+ private:
+  Rung rung_;
+};
+
+/// Scripted rung schedule keyed by segment index — used to regenerate the
+/// §6 frame-rate switching timelines (Figs 16/17).
+class ScheduledAbr final : public AbrPolicy {
+ public:
+  /// `schedule` maps a segment index to the rung to use from that segment
+  /// on; must be sorted by segment index ascending.
+  struct Step {
+    int from_segment = 0;
+    Rung rung;
+  };
+  explicit ScheduledAbr(std::vector<Step> schedule) : schedule_(std::move(schedule)) {}
+
+  Rung choose(const AbrContext& context) override {
+    Rung rung = schedule_.empty() ? context.current : schedule_.front().rung;
+    for (const Step& step : schedule_) {
+      if (context.segment_index >= step.from_segment) rung = step.rung;
+    }
+    return rung;
+  }
+  std::string name() const override { return "scheduled"; }
+
+ private:
+  std::vector<Step> schedule_;
+};
+
+}  // namespace mvqoe::video

@@ -1,0 +1,33 @@
+#include "video/asset.hpp"
+
+namespace mvqoe::video {
+
+const char* to_string(Genre genre) noexcept {
+  switch (genre) {
+    case Genre::Travel: return "travel";
+    case Genre::Sports: return "sports";
+    case Genre::Gaming: return "gaming";
+    case Genre::News: return "news";
+    case Genre::Nature: return "nature";
+  }
+  return "?";
+}
+
+VideoAsset dubai_flow_motion(int duration_s) {
+  // High-motion time-lapse: dense detail, frequent full-frame change.
+  return VideoAsset{"Dubai Flow Motion in 4K - A Rob Whitworth Film", Genre::Travel,
+                    duration_s, 1.12, 0.18, 4};
+}
+
+std::vector<VideoAsset> genre_suite(int duration_s) {
+  return {
+      dubai_flow_motion(duration_s),
+      {"Djokovic vs Shapovalov (4K 60FPS) Match Highlights", Genre::Sports, duration_s, 1.06,
+       0.16, 4},
+      {"NIGMA vs OG - TI Champions Game DPC EU", Genre::Gaming, duration_s, 1.00, 0.12, 4},
+      {"Clarissa Ward presses Taliban fighter", Genre::News, duration_s, 0.88, 0.10, 4},
+      {"Bali in 8k ULTRA HD HDR - Paradise of Asia", Genre::Nature, duration_s, 1.04, 0.14, 4},
+  };
+}
+
+}  // namespace mvqoe::video

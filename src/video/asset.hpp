@@ -1,0 +1,37 @@
+// The five evaluation videos (paper §4.3 "Performance over different
+// videos"): one per genre — travel, sports, gaming, news, nature. Genre
+// enters the model through decode complexity (motion/detail raise
+// per-frame decode cost) and segment-size variability around the target
+// bitrate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mvqoe::video {
+
+enum class Genre { Travel, Sports, Gaming, News, Nature };
+
+const char* to_string(Genre genre) noexcept;
+
+struct VideoAsset {
+  std::string title;
+  Genre genre = Genre::Travel;
+  /// Playback duration in seconds.
+  int duration_s = 120;
+  /// Decode-cost multiplier relative to an average H.264 stream.
+  double complexity = 1.0;
+  /// Lognormal sigma of per-segment encoded size around the rung bitrate.
+  double size_sigma = 0.15;
+  /// Segment (chunk) duration — ~4 s in the paper's setup.
+  int segment_s = 4;
+};
+
+/// The paper's single-video experiments use the travel video ("Dubai Flow
+/// Motion in 4K — A Rob Whitworth Film").
+VideoAsset dubai_flow_motion(int duration_s = 120);
+
+/// All five genre videos of Fig 12.
+std::vector<VideoAsset> genre_suite(int duration_s = 120);
+
+}  // namespace mvqoe::video

@@ -1,0 +1,114 @@
+#include "video/ladder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvqoe::video {
+
+namespace {
+
+/// YouTube-recommended upload bitrates at standard frame rate (kbps).
+int base_bitrate_kbps(int height) noexcept {
+  switch (height) {
+    case 240: return 500;
+    case 360: return 1000;
+    case 480: return 2500;
+    case 720: return 5000;
+    case 1080: return 8000;
+    case 1440: return 16000;
+  }
+  return 0;
+}
+
+/// Frame-rate scaling: YouTube recommends 1.5x for high frame rate
+/// (>= 48); intermediate encodes scale with frame count relative to the
+/// anchor of their tier.
+double fps_scale(int fps) noexcept {
+  if (fps >= 48) return 1.5 * static_cast<double>(fps) / 60.0;
+  return static_cast<double>(fps) / 30.0;
+}
+
+}  // namespace
+
+BitrateLadder::BitrateLadder(std::vector<Rung> rungs) : rungs_(std::move(rungs)) {
+  std::sort(rungs_.begin(), rungs_.end(), [](const Rung& a, const Rung& b) {
+    if (a.resolution.height != b.resolution.height)
+      return a.resolution.height < b.resolution.height;
+    return a.fps < b.fps;
+  });
+}
+
+BitrateLadder BitrateLadder::youtube() {
+  static constexpr Resolution kResolutions[] = {res::k240p,  res::k360p,  res::k480p,
+                                                res::k720p,  res::k1080p, res::k1440p};
+  static constexpr int kFps[] = {24, 30, 48, 60};
+  std::vector<Rung> rungs;
+  for (const Resolution& resolution : kResolutions) {
+    for (const int fps : kFps) {
+      const int bitrate = static_cast<int>(
+          std::lround(base_bitrate_kbps(resolution.height) * fps_scale(fps)));
+      rungs.push_back(Rung{resolution, fps, bitrate});
+    }
+  }
+  return BitrateLadder(std::move(rungs));
+}
+
+std::optional<Rung> BitrateLadder::find(int height, int fps) const noexcept {
+  for (const Rung& rung : rungs_) {
+    if (rung.resolution.height == height && rung.fps == fps) return rung;
+  }
+  return std::nullopt;
+}
+
+std::optional<Rung> BitrateLadder::step_down(const Rung& from) const noexcept {
+  const Rung* best = nullptr;
+  for (const Rung& rung : rungs_) {
+    if (rung.fps != from.fps || rung.bitrate_kbps >= from.bitrate_kbps) continue;
+    if (best == nullptr || rung.bitrate_kbps > best->bitrate_kbps) best = &rung;
+  }
+  return best != nullptr ? std::optional<Rung>(*best) : std::nullopt;
+}
+
+std::optional<Rung> BitrateLadder::step_up(const Rung& from) const noexcept {
+  const Rung* best = nullptr;
+  for (const Rung& rung : rungs_) {
+    if (rung.fps != from.fps || rung.bitrate_kbps <= from.bitrate_kbps) continue;
+    if (best == nullptr || rung.bitrate_kbps < best->bitrate_kbps) best = &rung;
+  }
+  return best != nullptr ? std::optional<Rung>(*best) : std::nullopt;
+}
+
+std::optional<Rung> BitrateLadder::with_fps(const Rung& from, int fps) const noexcept {
+  return find(from.resolution.height, fps);
+}
+
+std::optional<Rung> BitrateLadder::best_under(int max_height, int max_fps) const noexcept {
+  const Rung* best = nullptr;
+  for (const Rung& rung : rungs_) {
+    if (rung.resolution.height > max_height || rung.fps > max_fps) continue;
+    if (best == nullptr || rung.bitrate_kbps > best->bitrate_kbps) best = &rung;
+  }
+  return best != nullptr ? std::optional<Rung>(*best) : std::nullopt;
+}
+
+std::vector<int> BitrateLadder::frame_rates() const {
+  std::vector<int> rates;
+  for (const Rung& rung : rungs_) {
+    if (std::find(rates.begin(), rates.end(), rung.fps) == rates.end()) rates.push_back(rung.fps);
+  }
+  std::sort(rates.begin(), rates.end());
+  return rates;
+}
+
+std::vector<int> BitrateLadder::heights() const {
+  std::vector<int> heights;
+  for (const Rung& rung : rungs_) {
+    if (std::find(heights.begin(), heights.end(), rung.resolution.height) == heights.end()) {
+      heights.push_back(rung.resolution.height);
+    }
+  }
+  std::sort(heights.begin(), heights.end());
+  return heights;
+}
+
+}  // namespace mvqoe::video

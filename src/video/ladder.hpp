@@ -1,0 +1,81 @@
+// DASH bitrate ladder. The paper encodes five videos with H.264 at 240p
+// through 1440p, 30 and 60 FPS, "at bit rates recommended by YouTube"
+// (§4.1), in ~4-second chunks. §6 additionally evaluates 24 and 48 FPS
+// encodes, and §7 argues providers should ship such frame-rate variants —
+// so the ladder here carries the full resolution x frame-rate grid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvqoe::video {
+
+struct Resolution {
+  int width = 0;
+  int height = 0;
+
+  std::int64_t pixels() const noexcept {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  std::string label() const { return std::to_string(height) + "p"; }
+  bool operator==(const Resolution&) const = default;
+};
+
+struct Rung {
+  Resolution resolution;
+  int fps = 30;
+  int bitrate_kbps = 0;
+
+  std::string label() const {
+    return resolution.label() + "@" + std::to_string(fps);
+  }
+  bool operator==(const Rung&) const = default;
+};
+
+/// Standard resolutions used in the paper's sweeps.
+namespace res {
+inline constexpr Resolution k240p{426, 240};
+inline constexpr Resolution k360p{640, 360};
+inline constexpr Resolution k480p{854, 480};
+inline constexpr Resolution k720p{1280, 720};
+inline constexpr Resolution k1080p{1920, 1080};
+inline constexpr Resolution k1440p{2560, 1440};
+}  // namespace res
+
+class BitrateLadder {
+ public:
+  /// YouTube-recommended ladder: 240p-1440p at 24/30/48/60 FPS. 30 FPS
+  /// bitrates follow YouTube's upload recommendations; high-frame-rate
+  /// variants carry YouTube's 1.5x premium, scaled by frame count for the
+  /// 24/48 FPS encodes.
+  static BitrateLadder youtube();
+
+  const std::vector<Rung>& rungs() const noexcept { return rungs_; }
+
+  /// Exact (height, fps) lookup.
+  std::optional<Rung> find(int height, int fps) const noexcept;
+
+  /// Next rung down/up in bitrate order with the same fps; nullopt at the
+  /// ladder edge.
+  std::optional<Rung> step_down(const Rung& from) const noexcept;
+  std::optional<Rung> step_up(const Rung& from) const noexcept;
+
+  /// Same resolution at a different frame rate (the §6 adaptation axis).
+  std::optional<Rung> with_fps(const Rung& from, int fps) const noexcept;
+
+  /// Highest-bitrate rung with fps <= max_fps and height <= max_height.
+  std::optional<Rung> best_under(int max_height, int max_fps) const noexcept;
+
+  /// All distinct frame rates present, ascending.
+  std::vector<int> frame_rates() const;
+  /// All distinct heights present, ascending.
+  std::vector<int> heights() const;
+
+ private:
+  explicit BitrateLadder(std::vector<Rung> rungs);
+  std::vector<Rung> rungs_;  // sorted by (height, fps)
+};
+
+}  // namespace mvqoe::video

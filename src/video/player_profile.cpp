@@ -1,0 +1,98 @@
+#include "video/player_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvqoe::video {
+
+const char* to_string(PlayerPlatform platform) noexcept {
+  switch (platform) {
+    case PlayerPlatform::Firefox: return "Firefox";
+    case PlayerPlatform::Chrome: return "Chrome";
+    case PlayerPlatform::ExoPlayer: return "ExoPlayer";
+  }
+  return "?";
+}
+
+mem::Pages PlayerProfile::decoder_pool_pages(const Rung& rung) const noexcept {
+  const double hfr_frames = std::max(0, rung.fps - 30);
+  const double bytes_per_pixel =
+      pool_bytes_per_pixel + pool_bytes_per_pixel_hfr * hfr_frames / 30.0;
+  const double bytes = static_cast<double>(rung.resolution.pixels()) * bytes_per_pixel;
+  return mem::pages_from_bytes(static_cast<std::int64_t>(bytes));
+}
+
+double PlayerProfile::decode_cost_refus(const Rung& rung, double complexity) const noexcept {
+  return decode_fixed_refus * decode_overhead +
+         static_cast<double>(rung.resolution.pixels()) / 1000.0 * decode_cycles_per_pixel *
+             decode_overhead * complexity;
+}
+
+double PlayerProfile::compose_cost_refus(const Rung& rung) const noexcept {
+  return static_cast<double>(rung.resolution.pixels()) / 1000.0 * compose_cycles_per_pixel;
+}
+
+double PlayerProfile::compositor_cost_refus(const Rung& rung) const noexcept {
+  return static_cast<double>(rung.resolution.pixels()) / 1000.0 * compositor_cycles_per_pixel *
+         decode_overhead;
+}
+
+PlayerProfile PlayerProfile::firefox() {
+  PlayerProfile profile;
+  profile.platform = PlayerPlatform::Firefox;
+  profile.process_name = "org.mozilla.firefox";
+  profile.main_thread = "Firefox";
+  profile.base_heap = mem::pages_from_mb(200);
+  profile.code_working_set = mem::pages_from_mb(60);
+  profile.pool_bytes_per_pixel = 40.0;
+  profile.pool_bytes_per_pixel_hfr = 20.0;
+  profile.decode_cycles_per_pixel = 11.8;
+  profile.decode_fixed_refus = 2000.0;
+  profile.decode_overhead = 1.0;
+  return profile;
+}
+
+PlayerProfile PlayerProfile::chrome() {
+  PlayerProfile profile;
+  profile.platform = PlayerPlatform::Chrome;
+  profile.process_name = "com.android.chrome";
+  profile.main_thread = "CrRendererMain";
+  profile.base_heap = mem::pages_from_mb(145);
+  profile.code_working_set = mem::pages_from_mb(48);
+  profile.pool_bytes_per_pixel = 30.0;
+  profile.pool_bytes_per_pixel_hfr = 16.0;
+  profile.decode_cycles_per_pixel = 13.0;
+  profile.decode_fixed_refus = 4200.0;
+  profile.decode_overhead = 0.95;
+  return profile;
+}
+
+PlayerProfile PlayerProfile::exoplayer() {
+  PlayerProfile profile;
+  profile.platform = PlayerPlatform::ExoPlayer;
+  profile.process_name = "com.example.videoapp";
+  profile.main_thread = "ExoPlayer";
+  profile.base_heap = mem::pages_from_mb(58);
+  profile.code_working_set = mem::pages_from_mb(26);
+  profile.pool_bytes_per_pixel = 10.0;
+  profile.pool_bytes_per_pixel_hfr = 7.0;
+  // Native app leans on the hardware decode path far more than the
+  // browsers' software fallback/composite pipeline.
+  profile.decode_cycles_per_pixel = 9.0;
+  profile.decode_fixed_refus = 1600.0;  // hardware path: thin per-frame shim
+  profile.decode_overhead = 0.7;
+  profile.compositor_cycles_per_pixel = 2.0;  // direct-to-surface, no raster copy
+  profile.demux_cost_refus = 1200.0;
+  return profile;
+}
+
+PlayerProfile PlayerProfile::for_platform(PlayerPlatform platform) {
+  switch (platform) {
+    case PlayerPlatform::Firefox: return firefox();
+    case PlayerPlatform::Chrome: return chrome();
+    case PlayerPlatform::ExoPlayer: return exoplayer();
+  }
+  return firefox();
+}
+
+}  // namespace mvqoe::video

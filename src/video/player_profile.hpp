@@ -1,0 +1,66 @@
+// Player platform models: mobile Firefox (the paper's main client),
+// Chrome, and an ExoPlayer-based native app (Appendix B). Appendix B
+// attributes their QoE differences to memory footprint — Chrome and
+// ExoPlayer "induce a lower memory overhead" — so platforms differ here
+// in base heap, code working set, per-pixel buffer pools, and decode
+// overhead (browsers do extra copy/composite work per frame).
+#pragma once
+
+#include <string>
+
+#include "mem/types.hpp"
+#include "video/ladder.hpp"
+
+namespace mvqoe::video {
+
+enum class PlayerPlatform { Firefox, Chrome, ExoPlayer };
+
+const char* to_string(PlayerPlatform platform) noexcept;
+
+struct PlayerProfile {
+  PlayerPlatform platform = PlayerPlatform::Firefox;
+  std::string process_name;   // traced process name
+  std::string main_thread;    // traced main-thread name ("Firefox", ...)
+
+  /// Anonymous heap at player start (UI, JS engine, page, media stack).
+  mem::Pages base_heap = 0;
+  /// File-backed code/resource working set.
+  mem::Pages code_working_set = 0;
+
+  /// Decoder + compositor buffer pool, bytes per pixel at <= 30 FPS.
+  double pool_bytes_per_pixel = 30.0;
+  /// Additional pool bytes per pixel at 60 FPS (scaled linearly with
+  /// frames above 30).
+  double pool_bytes_per_pixel_hfr = 20.0;
+
+  /// Decode CPU in cycles per pixel (reference-µs = cycles/1000), before
+  /// genre complexity and per-frame variability.
+  double decode_cycles_per_pixel = 14.0;
+  /// Fixed per-frame pipeline cost (buffer management, color convert
+  /// setup, IPC to the compositor) — why 60 FPS hurts low-end devices
+  /// even at small resolutions.
+  double decode_fixed_refus = 5000.0;
+  /// Multiplier on decode cost (browser copy/convert overhead).
+  double decode_overhead = 1.0;
+  /// SurfaceFlinger composition cycles per pixel.
+  double compose_cycles_per_pixel = 2.5;
+  /// In-process compositor/rasterizer stage between decode and
+  /// SurfaceFlinger (color convert, layerize, upload), cycles per pixel.
+  double compositor_cycles_per_pixel = 7.0;
+  /// Player main thread demux/buffering cost per segment, reference-µs.
+  double demux_cost_refus = 2500.0;
+
+  /// Decoder/compositor pool size for a rung.
+  mem::Pages decoder_pool_pages(const Rung& rung) const noexcept;
+  /// Mean decode cost for one frame of a rung (reference-µs).
+  double decode_cost_refus(const Rung& rung, double complexity) const noexcept;
+  double compose_cost_refus(const Rung& rung) const noexcept;
+  double compositor_cost_refus(const Rung& rung) const noexcept;
+
+  static PlayerProfile firefox();
+  static PlayerProfile chrome();
+  static PlayerProfile exoplayer();
+  static PlayerProfile for_platform(PlayerPlatform platform);
+};
+
+}  // namespace mvqoe::video

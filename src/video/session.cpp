@@ -1,0 +1,480 @@
+#include "video/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvqoe::video {
+
+namespace {
+
+/// Lognormal multiplier with unit mean: exp(N(-sigma^2/2, sigma)).
+double unit_lognormal(stats::Rng& rng, double sigma) {
+  return std::exp(rng.normal(-0.5 * sigma * sigma, sigma));
+}
+
+sim::Time frame_pts(sim::Time segment_start, int frame_index, int fps) noexcept {
+  return segment_start + static_cast<sim::Time>(frame_index) * 1'000'000 / fps;
+}
+
+}  // namespace
+
+VideoSession::VideoSession(sim::Engine& engine, sched::Scheduler& scheduler,
+                           mem::MemoryManager& memory, net::Link& link, trace::Tracer& tracer,
+                           SessionConfig config, AbrPolicy* abr)
+    : engine_(engine),
+      scheduler_(scheduler),
+      memory_(memory),
+      link_(link),
+      tracer_(tracer),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      current_rung_(config_.initial_rung),
+      pool_rung_(config_.initial_rung) {
+  if (abr == nullptr) {
+    fallback_abr_ = std::make_unique<FixedAbr>(config_.initial_rung);
+    abr_ = fallback_abr_.get();
+  } else {
+    abr_ = abr;
+  }
+  total_segments_ = (config_.asset.duration_s + config_.asset.segment_s - 1) /
+                    config_.asset.segment_s;
+}
+
+VideoSession::~VideoSession() = default;
+
+bool VideoSession::alive() const noexcept {
+  return !crashed_ && memory_.registry().alive(pid_);
+}
+
+std::vector<trace::ThreadId> VideoSession::client_thread_ids() const {
+  return {pl_tid_, mc_tid_, comp_tid_};
+}
+
+void VideoSession::start(mem::ProcessId pid, std::function<void()> on_finished) {
+  pid_ = pid;
+  on_finished_ = std::move(on_finished);
+  started_ = true;
+
+  memory_.register_process(pid_, config_.profile.process_name, mem::OomAdj::kForeground,
+                           [this] { handle_crash(); });
+
+  sched::ThreadSpec player;
+  player.name = config_.profile.main_thread;
+  player.pid = pid_;
+  player.process_name = config_.profile.process_name;
+  pl_tid_ = scheduler_.create_thread(player);
+
+  sched::ThreadSpec codec;
+  codec.name = "MediaCodec";
+  codec.pid = pid_;
+  codec.process_name = config_.profile.process_name;
+  mc_tid_ = scheduler_.create_thread(codec);
+
+  sched::ThreadSpec compositor;
+  compositor.name = "Compositor";
+  compositor.pid = pid_;
+  compositor.process_name = config_.profile.process_name;
+  comp_tid_ = scheduler_.create_thread(compositor);
+
+  sched::ThreadSpec sf;
+  sf.name = "SurfaceFlinger";
+  sf.pid = 3;  // system process: survives a client crash
+  sf.process_name = "surfaceflinger";
+  sf.priority = -8;  // boosted, but still Fair class (preemptible by mmcqd)
+  sf_tid_ = scheduler_.create_thread(sf);
+
+  // Launch footprint: heap in stages, then code, on the player thread so
+  // the launch itself stalls under pressure (as real app launches do).
+  launch_stage(0);
+}
+
+void VideoSession::launch_stage(int stage) {
+  if (!alive()) return;
+  const int stages = std::max(1, config_.launch_stages);
+  if (stage >= stages) {
+    memory_.set_hot_pages(pid_, config_.profile.base_heap * 2 / 5);
+    memory_.map_file(pid_, config_.profile.code_working_set, pl_tid_, [this](bool ok) {
+      if (!ok || !alive()) return;
+      pss_sampler_ = std::make_unique<sim::PeriodicTask>(engine_, sim::msec(500),
+                                                         [this] { sample_pss(); });
+      pss_sampler_->start();
+      ui_task_ = std::make_unique<sim::PeriodicTask>(engine_, config_.ui_period,
+                                                     [this] { ui_tick(); });
+      ui_task_->start();
+      maybe_download();
+    });
+    return;
+  }
+  const mem::Pages slice = config_.profile.base_heap / stages;
+  memory_.alloc_anon(pid_, slice, pl_tid_, [this, stage](bool ok) {
+    if (!ok || !alive()) return;
+    scheduler_.sleep_for(pl_tid_, config_.launch_stage_pause,
+                         [this, stage] { launch_stage(stage + 1); });
+  });
+}
+
+// --- Download pipeline -------------------------------------------------------
+
+double VideoSession::buffered_seconds() const noexcept {
+  sim::Time playhead = 0;
+  if (playback_started_) {
+    playhead = std::max<sim::Time>(0, engine_.now() - metrics_.playback_start);
+  }
+  return std::max(0.0, sim::to_seconds(buffered_media_end_ - playhead));
+}
+
+AbrContext VideoSession::make_context() const {
+  AbrContext context;
+  context.buffer_seconds = buffered_seconds();
+  context.throughput_mbps = throughput_estimate_mbps_;
+  context.current = current_rung_;
+  context.ladder = &config_.ladder;
+  context.pressure = memory_.level();
+  context.segment_index = next_segment_;
+  // Drop rate over the trailing ~5 media seconds.
+  std::int64_t presented = 0;
+  std::int64_t dropped = 0;
+  const std::size_t seconds = metrics_.presented_per_second.size();
+  for (std::size_t i = seconds > 5 ? seconds - 5 : 0; i < seconds; ++i) {
+    presented += metrics_.presented_per_second[i];
+    if (i < metrics_.dropped_per_second.size()) dropped += metrics_.dropped_per_second[i];
+  }
+  const double total = static_cast<double>(presented + dropped);
+  context.recent_drop_rate = total > 0.0 ? static_cast<double>(dropped) / total : 0.0;
+  return context;
+}
+
+void VideoSession::maybe_download() {
+  if (!alive() || finished_ || downloading_ || downloads_done_) return;
+  if (next_segment_ >= total_segments_) {
+    downloads_done_ = true;
+    return;
+  }
+  if (buffered_seconds() >= sim::to_seconds(config_.buffer_capacity)) {
+    engine_.schedule(sim::msec(500), [this] { maybe_download(); });
+    return;
+  }
+
+  const Rung rung = abr_->choose(make_context());
+  if (!(rung == current_rung_)) {
+    current_rung_ = rung;
+    tracer_.instant(trace::InstantKind::RungSwitch, engine_.now(), pl_tid_, rung.bitrate_kbps);
+  }
+  downloading_ = true;
+  const double size_jitter = unit_lognormal(rng_, config_.asset.size_sigma);
+  const auto bytes = static_cast<std::uint64_t>(static_cast<double>(rung.bitrate_kbps) * 1000.0 /
+                                                8.0 * config_.asset.segment_s * size_jitter);
+  const int index = next_segment_;
+  ++next_segment_;
+  const sim::Time requested_at = engine_.now();
+  link_.transfer(bytes, [this, index, rung, bytes, requested_at] {
+    if (!alive() || finished_) return;
+    const sim::Time elapsed = std::max<sim::Time>(1, engine_.now() - requested_at);
+    const double mbps = static_cast<double>(bytes) * 8.0 / sim::to_seconds(elapsed) / 1e6;
+    throughput_estimate_mbps_ = throughput_estimate_mbps_ <= 0.0
+                                    ? mbps
+                                    : 0.7 * throughput_estimate_mbps_ + 0.3 * mbps;
+    on_segment_arrived(index, rung, mem::pages_from_bytes(static_cast<std::int64_t>(bytes)));
+  });
+}
+
+void VideoSession::on_segment_arrived(int index, Rung rung, mem::Pages pages) {
+  // Demux on the player thread, then commit the buffer memory.
+  auto demux = [this, index, rung, pages] {
+    scheduler_.run_work(pl_tid_, config_.profile.demux_cost_refus, [this, index, rung, pages] {
+      memory_.alloc_anon(pid_, pages, pl_tid_, [this, index, rung, pages](bool ok) {
+        if (!ok || !alive() || finished_) return;
+        Segment segment;
+        segment.index = index;
+        segment.rung = rung;
+        segment.pages = pages;
+        segment.frames = rung.fps * config_.asset.segment_s;
+        segment.start_pts = next_segment_pts_;
+        next_segment_pts_ += sim::sec(config_.asset.segment_s);
+        buffered_media_end_ = next_segment_pts_;
+        buffer_.push_back(segment);
+        metrics_.rung_history.push_back(rung);
+        tracer_.instant(trace::InstantKind::SegmentDownloaded, engine_.now(), pl_tid_, index);
+        downloading_ = false;
+        if (!playback_started_) begin_playback();
+        if (waiting_for_segment_) {
+          waiting_for_segment_ = false;
+          decode_next();
+        }
+        maybe_download();
+      });
+    });
+  };
+  // The player thread may be mid-UI-burst; wait for it.
+  if (scheduler_.exists(pl_tid_) && scheduler_.is_idle(pl_tid_)) {
+    demux();
+  } else {
+    engine_.schedule(sim::msec(1), [this, index, rung, pages] {
+      on_segment_arrived(index, rung, pages);
+    });
+  }
+}
+
+void VideoSession::ui_tick() {
+  if (!alive() || finished_) return;
+  if (!scheduler_.exists(pl_tid_) || !scheduler_.is_idle(pl_tid_)) return;
+  const double cost =
+      downloading_ && link_.busy() ? config_.ui_cost_refus * 0.3 : config_.ui_cost_refus;
+  scheduler_.run_work(pl_tid_, cost, [this] {
+    // Runtime allocation churn: grab this tick's share, release it after
+    // its GC lifetime.
+    const auto ticks_per_sec =
+        std::max<sim::Time>(1, sim::sec(1) / std::max<sim::Time>(1, config_.ui_period));
+    const mem::Pages churn = config_.churn_pages_per_sec / ticks_per_sec;
+    if (churn <= 0 || !alive() || finished_) return;
+    memory_.alloc_anon(pid_, churn, pl_tid_, [this, churn](bool ok) {
+      if (!ok) return;
+      engine_.schedule(config_.churn_lifetime, [this, churn] {
+        if (memory_.registry().alive(pid_)) memory_.free_anon(pid_, churn);
+      });
+    });
+  });
+}
+
+// --- Decode pipeline ---------------------------------------------------------
+
+void VideoSession::begin_playback() {
+  playback_started_ = true;
+  metrics_.playback_start = engine_.now() + config_.startup_delay;
+  decode_next();
+}
+
+void VideoSession::decode_next() {
+  if (!alive() || finished_) return;
+  if (buffer_.empty()) {
+    if (downloads_done_) {
+      finish();
+      return;
+    }
+    waiting_for_segment_ = true;
+    return;
+  }
+  Segment& segment = buffer_.front();
+  if (frame_in_segment_ >= segment.frames) {
+    memory_.free_anon(pid_, segment.pages);
+    buffer_.pop_front();
+    frame_in_segment_ = 0;
+    decode_next();
+    return;
+  }
+
+  const sim::Time pts = frame_pts(segment.start_pts, frame_in_segment_, segment.rung.fps);
+  const sim::Time deadline = metrics_.playback_start + pts;
+  const sim::Time now = engine_.now();
+
+  if (now > deadline + config_.present_slack) {
+    // Frame is already unpresentable: skip-decode it cheaply and move on
+    // (the decoder catching up — this is what a stutter looks like).
+    note_dropped(deadline);
+    const double skip_cost =
+        0.15 * config_.profile.decode_cost_refus(segment.rung, config_.asset.complexity);
+    advance_frame();
+    scheduler_.run_work(mc_tid_, skip_cost, [this] { decode_next(); });
+    return;
+  }
+  if (now < deadline - config_.decode_lead) {
+    scheduler_.sleep_for(mc_tid_, deadline - config_.decode_lead - now, [this] { decode_next(); });
+    return;
+  }
+
+  // Per-frame working-set touch: decoding a frame walks the heap, codec
+  // buffers and code pages; under pressure the evicted/compressed share
+  // faults back in (decompression CPU + storage reads) *inside the frame
+  // deadline* — the §2 "extra I/O wait in any thread" stretched across
+  // every frame, which is what turns memory pressure into dropped frames
+  // at any resolution.
+  const mem::ProcessMem* process = memory_.registry().find(pid_);
+  if (process != nullptr) {
+    const auto window_anon = static_cast<mem::Pages>(
+        config_.heap_touch_fraction *
+        static_cast<double>(process->anon_resident + process->anon_swapped));
+    const auto window_file = static_cast<mem::Pages>(
+        config_.code_touch_fraction * static_cast<double>(process->file_working_set));
+    // The touched window is the client's hot floor: kswapd cannot
+    // usefully compress it (it would fault right back).
+    memory_.set_hot_pages(pid_, window_anon);
+    // Per-frame share of the touch window.
+    const double scale =
+        std::min(1.0, static_cast<double>(sim::sec(1) / segment.rung.fps) /
+                          static_cast<double>(std::max<sim::Time>(1, config_.touch_period)));
+    const auto anon_touch = static_cast<mem::Pages>(static_cast<double>(window_anon) * scale);
+    const auto file_touch = static_cast<mem::Pages>(static_cast<double>(window_file) * scale);
+    const Segment snapshot = segment;
+    memory_.touch_working_set(pid_, mc_tid_, anon_touch, file_touch,
+                              [this, snapshot, deadline](bool ok) {
+                                if (!ok || !alive() || finished_) return;
+                                decode_current_frame(snapshot, deadline);
+                              });
+    return;
+  }
+  decode_current_frame(segment, deadline);
+}
+
+void VideoSession::ensure_decoder_pool(const Rung& rung, std::function<void()> next) {
+  if (pool_pages_ > 0 && pool_rung_ == rung) {
+    next();
+    return;
+  }
+  const mem::Pages new_pool = config_.profile.decoder_pool_pages(rung);
+  // Allocate the new pool before releasing the old one — the transient
+  // double allocation is exactly what a live rung switch costs.
+  memory_.alloc_anon(pid_, new_pool, mc_tid_, [this, rung, new_pool,
+                                               next = std::move(next)](bool ok) {
+    if (!ok || !alive() || finished_) return;
+    if (pool_pages_ > 0) memory_.free_anon(pid_, pool_pages_);
+    pool_pages_ = new_pool;
+    pool_rung_ = rung;
+    next();
+  });
+}
+
+void VideoSession::decode_current_frame(const Segment& segment, sim::Time deadline) {
+  ensure_decoder_pool(segment.rung, [this, segment, deadline] {
+    const double cost =
+        config_.profile.decode_cost_refus(segment.rung, config_.asset.complexity) *
+        unit_lognormal(rng_, config_.decode_sigma);
+    scheduler_.run_work(mc_tid_, cost, [this, segment, deadline] {
+      if (!alive() || finished_) return;
+      if (engine_.now() > deadline + config_.present_slack) {
+        note_dropped(deadline);
+      } else {
+        enqueue_compose(deadline, segment.rung);
+      }
+      advance_frame();
+      decode_next();
+    });
+  });
+}
+
+void VideoSession::advance_frame() { ++frame_in_segment_; }
+
+// --- In-process compositor ----------------------------------------------------
+
+void VideoSession::enqueue_compose(sim::Time deadline, const Rung& rung) {
+  compose_queue_.push_back(PresentItem{deadline, rung});
+  comp_pump();
+}
+
+void VideoSession::comp_pump() {
+  if (comp_busy_ || compose_queue_.empty()) return;
+  if (!scheduler_.exists(comp_tid_)) return;
+  comp_busy_ = true;
+  const PresentItem item = compose_queue_.front();
+  compose_queue_.pop_front();
+  const double cost = config_.profile.compositor_cost_refus(item.rung);
+  scheduler_.run_work(comp_tid_, cost, [this, item] {
+    if (engine_.now() > item.deadline + config_.present_slack) {
+      note_dropped(item.deadline);
+    } else {
+      enqueue_present(item.deadline, item.rung);
+    }
+    comp_busy_ = false;
+    comp_pump();
+  });
+}
+
+// --- Presentation ------------------------------------------------------------
+
+void VideoSession::enqueue_present(sim::Time deadline, const Rung& rung) {
+  present_queue_.push_back(PresentItem{deadline, rung});
+  sf_pump();
+}
+
+void VideoSession::sf_pump() {
+  if (sf_busy_ || present_queue_.empty()) return;
+  if (!scheduler_.exists(sf_tid_)) return;
+  sf_busy_ = true;
+  const PresentItem item = present_queue_.front();
+  present_queue_.pop_front();
+  const double cost = config_.profile.compose_cost_refus(item.rung);
+  scheduler_.run_work(sf_tid_, cost, [this, item] {
+    if (engine_.now() <= item.deadline + config_.present_slack) {
+      note_presented(item.deadline);
+    } else {
+      note_dropped(item.deadline);
+    }
+    sf_busy_ = false;
+    sf_pump();
+    if (finished_ && present_queue_.empty()) {
+      // Late presents after finish just settle the counters.
+    }
+  });
+}
+
+// --- Accounting ---------------------------------------------------------------
+
+std::size_t VideoSession::media_second(sim::Time deadline) const noexcept {
+  const sim::Time pts = std::max<sim::Time>(0, deadline - metrics_.playback_start);
+  return static_cast<std::size_t>(pts / sim::sec(1));
+}
+
+void VideoSession::note_presented(sim::Time deadline) {
+  ++metrics_.frames_presented;
+  const std::size_t second = media_second(deadline);
+  if (metrics_.presented_per_second.size() <= second) {
+    metrics_.presented_per_second.resize(second + 1, 0);
+  }
+  ++metrics_.presented_per_second[second];
+  tracer_.instant(trace::InstantKind::FramePresented, engine_.now(), mc_tid_,
+                  static_cast<std::int64_t>(second));
+}
+
+void VideoSession::note_dropped(sim::Time deadline) {
+  ++metrics_.frames_dropped;
+  const std::size_t second = media_second(deadline);
+  if (metrics_.dropped_per_second.size() <= second) {
+    metrics_.dropped_per_second.resize(second + 1, 0);
+  }
+  ++metrics_.dropped_per_second[second];
+  tracer_.instant(trace::InstantKind::FrameDropped, engine_.now(), mc_tid_,
+                  static_cast<std::int64_t>(second));
+}
+
+void VideoSession::sample_pss() {
+  const mem::ProcessMem* process = memory_.registry().find(pid_);
+  if (process == nullptr) return;
+  const double pss_mb = mem::mb_from_pages(mem::pss_pages(*process));
+  metrics_.pss_mb.add(pss_mb);
+  tracer_.counter("pss_mb", engine_.now(), pss_mb);
+}
+
+void VideoSession::handle_crash() {
+  if (finished_ || crashed_) return;
+  crashed_ = true;
+  metrics_.crashed = true;
+  metrics_.crash_time = engine_.now();
+  tracer_.instant(trace::InstantKind::ClientCrashed, engine_.now(), pl_tid_, 0);
+
+  // Drop statistics cover the *played* portion only; the crash itself is
+  // reported separately (the paper's Fig 9 drop bars and Table 2 crash
+  // rates are separate panels over the same runs).
+  if (pss_sampler_ != nullptr) pss_sampler_->stop();
+  if (ui_task_ != nullptr) ui_task_->stop();
+  finished_ = true;
+  metrics_.finished_at = engine_.now();
+  if (on_finished_) {
+    engine_.schedule(0, [fn = std::move(on_finished_)] { fn(); });
+    on_finished_ = nullptr;
+  }
+}
+
+void VideoSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  metrics_.finished_at = engine_.now();
+  for (const Segment& segment : buffer_) memory_.free_anon(pid_, segment.pages);
+  buffer_.clear();
+  if (pss_sampler_ != nullptr) pss_sampler_->stop();
+  if (ui_task_ != nullptr) ui_task_->stop();
+  if (on_finished_) {
+    engine_.schedule(0, [fn = std::move(on_finished_)] { fn(); });
+    on_finished_ = nullptr;
+  }
+}
+
+}  // namespace mvqoe::video

@@ -1,0 +1,216 @@
+// The DASH video client: the simulation counterpart of the paper's
+// dash.js-in-Firefox setup (§4.1, Fig 7).
+//
+// Threads (named to match the paper's §5 trace analysis):
+//   * player main ("Firefox"/"CrRendererMain"/"ExoPlayer") — segment
+//     download/demux, periodic UI/JS upkeep;
+//   * "MediaCodec" — per-frame decode, plus the process's working-set
+//     touches (so reclaim-induced refaults stall *decode*);
+//   * "SurfaceFlinger" — per-frame composition against the vsync
+//     deadline; runs in its own (system) process and survives a client
+//     crash.
+//
+// Frame-drop semantics follow §4.1: playback holds 1x; a frame whose
+// decode or composition misses its presentation deadline is dropped and
+// the pipeline skips ahead. A client crash (lmkd kill) marks the session
+// crashed and the un-played remainder dropped — matching the paper's
+// "video was either unplayable or the video client crashed" at Critical.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/memory_manager.hpp"
+#include "net/link.hpp"
+#include "sched/scheduler.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "video/abr_policy.hpp"
+#include "video/asset.hpp"
+#include "video/player_profile.hpp"
+
+namespace mvqoe::video {
+
+struct SessionConfig {
+  VideoAsset asset;
+  Rung initial_rung;
+  PlayerProfile profile = PlayerProfile::firefox();
+  BitrateLadder ladder = BitrateLadder::youtube();
+  sim::Time buffer_capacity = sim::sec(60);
+  std::uint64_t seed = 1;
+
+  /// Lognormal sigma of per-frame decode cost.
+  double decode_sigma = 0.15;
+  /// How late a frame may still be presented (half a 60 Hz vsync plus
+  /// scheduling slack).
+  sim::Time present_slack = sim::msec(10);
+  /// How far ahead of its deadline the decoder works.
+  sim::Time decode_lead = sim::msec(90);
+  /// Working-set touch cadence on the decode thread, and the fractions of
+  /// heap / code working set touched each period.
+  sim::Time touch_period = sim::msec(250);
+  double heap_touch_fraction = 0.30;
+  double code_touch_fraction = 0.50;
+  /// Player main-thread UI/JS upkeep.
+  sim::Time ui_period = sim::msec(100);
+  double ui_cost_refus = 900.0;
+  /// Allocation churn of the player runtime (JS garbage, media-source
+  /// buffer copies): allocated and freed continuously. Harmless with
+  /// free memory to spare; under pressure it keeps kswapd reclaiming for
+  /// the whole session — the §5 "kswapd becomes the most-run thread"
+  /// behaviour — and exposes the player to direct-reclaim stalls.
+  mem::Pages churn_pages_per_sec = mem::pages_from_mb(14);
+  /// How long a churn allocation lives before the GC releases it.
+  sim::Time churn_lifetime = sim::msec(300);
+  /// Delay between first buffered segment and the first frame deadline.
+  sim::Time startup_delay = sim::msec(150);
+  /// The launch heap is committed in stages (a real app's footprint grows
+  /// over seconds); this is the pause between stages. Without it the
+  /// launch demand spikes faster than reclaim or lmkd can respond, which
+  /// no real allocation pattern does.
+  sim::Time launch_stage_pause = sim::msec(180);
+  int launch_stages = 16;
+};
+
+struct SessionMetrics {
+  std::int64_t frames_presented = 0;
+  std::int64_t frames_dropped = 0;
+  bool crashed = false;
+  sim::Time crash_time = -1;
+  sim::Time playback_start = -1;
+  sim::Time finished_at = -1;
+  /// Presented / dropped frame counts per media-time second.
+  std::vector<int> presented_per_second;
+  std::vector<int> dropped_per_second;
+  /// Rung used for each downloaded segment.
+  std::vector<Rung> rung_history;
+  stats::Accumulator pss_mb;
+
+  double drop_rate() const noexcept {
+    const double total = static_cast<double>(frames_presented + frames_dropped);
+    return total > 0.0 ? static_cast<double>(frames_dropped) / total : 0.0;
+  }
+};
+
+class VideoSession {
+ public:
+  VideoSession(sim::Engine& engine, sched::Scheduler& scheduler, mem::MemoryManager& memory,
+               net::Link& link, trace::Tracer& tracer, SessionConfig config,
+               AbrPolicy* abr = nullptr);
+  ~VideoSession();
+
+  VideoSession(const VideoSession&) = delete;
+  VideoSession& operator=(const VideoSession&) = delete;
+
+  /// Register the client process under `pid` and begin: launch
+  /// allocation, segment downloads, playback. `on_finished` fires once,
+  /// when the video completes or the client crashes.
+  void start(mem::ProcessId pid, std::function<void()> on_finished = nullptr);
+
+  bool finished() const noexcept { return finished_; }
+  const SessionMetrics& metrics() const noexcept { return metrics_; }
+  Rung current_rung() const noexcept { return current_rung_; }
+  mem::ProcessId pid() const noexcept { return pid_; }
+
+  /// App-process threads (player main + MediaCodec) — the paper's "video
+  /// client process threads" of Table 4 include these plus SurfaceFlinger.
+  std::vector<trace::ThreadId> client_thread_ids() const;
+  trace::ThreadId surfaceflinger_tid() const noexcept { return sf_tid_; }
+  trace::ThreadId mediacodec_tid() const noexcept { return mc_tid_; }
+  trace::ThreadId player_tid() const noexcept { return pl_tid_; }
+  trace::ThreadId compositor_tid() const noexcept { return comp_tid_; }
+
+ private:
+  struct Segment {
+    int index = 0;
+    Rung rung;
+    mem::Pages pages = 0;
+    int frames = 0;
+    sim::Time start_pts = 0;
+  };
+  struct PresentItem {
+    sim::Time deadline = 0;
+    Rung rung;
+  };
+
+  // Download pipeline (player thread).
+  void maybe_download();
+  void on_segment_arrived(int index, Rung rung, mem::Pages pages);
+  double buffered_seconds() const noexcept;
+
+  // Decode pipeline (MediaCodec thread).
+  void decode_next();
+  void decode_current_frame(const Segment& segment, sim::Time deadline);
+  void ensure_decoder_pool(const Rung& rung, std::function<void()> next);
+  void advance_frame();
+
+  // In-process compositor stage (decode -> compositor -> SurfaceFlinger).
+  void enqueue_compose(sim::Time deadline, const Rung& rung);
+  void comp_pump();
+  // Presentation (SurfaceFlinger thread).
+  void enqueue_present(sim::Time deadline, const Rung& rung);
+  void sf_pump();
+
+  void launch_stage(int stage);
+  void begin_playback();
+  void note_presented(sim::Time deadline);
+  void note_dropped(sim::Time deadline);
+  std::size_t media_second(sim::Time deadline) const noexcept;
+  void handle_crash();
+  void finish();
+  void sample_pss();
+  void ui_tick();
+  AbrContext make_context() const;
+
+  bool alive() const noexcept;
+
+  sim::Engine& engine_;
+  sched::Scheduler& scheduler_;
+  mem::MemoryManager& memory_;
+  net::Link& link_;
+  trace::Tracer& tracer_;
+  SessionConfig config_;
+  std::unique_ptr<AbrPolicy> fallback_abr_;
+  AbrPolicy* abr_ = nullptr;
+  stats::Rng rng_;
+
+  mem::ProcessId pid_ = 0;
+  trace::ThreadId pl_tid_ = 0;
+  trace::ThreadId mc_tid_ = 0;
+  trace::ThreadId comp_tid_ = 0;
+  trace::ThreadId sf_tid_ = 0;
+
+  int total_segments_ = 0;
+  int next_segment_ = 0;
+  bool downloading_ = false;
+  bool downloads_done_ = false;
+  std::deque<Segment> buffer_;
+  sim::Time buffered_media_end_ = 0;  // pts of last buffered media
+  sim::Time next_segment_pts_ = 0;
+
+  bool playback_started_ = false;
+  bool waiting_for_segment_ = false;
+  int frame_in_segment_ = 0;
+  Rung current_rung_;
+  Rung pool_rung_;
+  mem::Pages pool_pages_ = 0;
+  sim::Time last_touch_ = 0;
+  double throughput_estimate_mbps_ = 0.0;
+
+  std::deque<PresentItem> compose_queue_;
+  bool comp_busy_ = false;
+  std::deque<PresentItem> present_queue_;
+  bool sf_busy_ = false;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool crashed_ = false;
+  SessionMetrics metrics_;
+  std::function<void()> on_finished_;
+  std::unique_ptr<sim::PeriodicTask> pss_sampler_;
+  std::unique_ptr<sim::PeriodicTask> ui_task_;
+};
+
+}  // namespace mvqoe::video

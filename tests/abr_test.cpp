@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "abr/policies.hpp"
+
+namespace mvqoe::abr {
+namespace {
+
+using mem::PressureLevel;
+using video::BitrateLadder;
+
+struct ContextBuilder {
+  AbrContext context;
+  BitrateLadder ladder = BitrateLadder::youtube();
+
+  ContextBuilder() {
+    context.ladder = &ladder;
+    context.current = *ladder.find(480, 30);
+    context.buffer_seconds = 30.0;
+    context.throughput_mbps = 50.0;
+  }
+  ContextBuilder& buffer(double seconds) {
+    context.buffer_seconds = seconds;
+    return *this;
+  }
+  ContextBuilder& throughput(double mbps) {
+    context.throughput_mbps = mbps;
+    return *this;
+  }
+  ContextBuilder& pressure(PressureLevel level) {
+    context.pressure = level;
+    return *this;
+  }
+  ContextBuilder& drops(double rate) {
+    context.recent_drop_rate = rate;
+    return *this;
+  }
+  ContextBuilder& current(int height, int fps) {
+    context.current = *ladder.find(height, fps);
+    return *this;
+  }
+  ContextBuilder& segment(int index) {
+    context.segment_index = index;
+    return *this;
+  }
+};
+
+TEST(RateBased, PicksHighestRungUnderThroughput) {
+  RateBasedAbr abr(30, 0.8);
+  ContextBuilder builder;
+  // 10 Mbps * 0.8 = 8 Mbps budget -> exactly the 1080p30 rung.
+  const auto rung = abr.choose(builder.throughput(10.0).context);
+  EXPECT_EQ(rung.resolution.height, 1080);
+  EXPECT_EQ(rung.fps, 30);
+}
+
+TEST(RateBased, LowThroughputPicksBottomRung) {
+  RateBasedAbr abr(30);
+  const auto rung = abr.choose(ContextBuilder().throughput(0.3).context);
+  EXPECT_EQ(rung.resolution.height, 240);
+}
+
+TEST(RateBased, NoEstimateStartsConservative) {
+  RateBasedAbr abr(30);
+  const auto rung = abr.choose(ContextBuilder().throughput(0.0).context);
+  EXPECT_EQ(rung.resolution.height, 240);
+}
+
+TEST(RateBased, KeepsConfiguredFps) {
+  RateBasedAbr abr(60);
+  const auto rung = abr.choose(ContextBuilder().throughput(100.0).context);
+  EXPECT_EQ(rung.fps, 60);
+  EXPECT_EQ(rung.resolution.height, 1440);
+}
+
+TEST(BufferBased, ReservoirForcesLowestRung) {
+  BufferBasedAbr abr(30, 10.0, 40.0);
+  const auto rung = abr.choose(ContextBuilder().buffer(5.0).context);
+  EXPECT_EQ(rung.resolution.height, 240);
+}
+
+TEST(BufferBased, CushionAllowsTopRung) {
+  BufferBasedAbr abr(30, 10.0, 40.0);
+  const auto rung = abr.choose(ContextBuilder().buffer(55.0).context);
+  EXPECT_EQ(rung.resolution.height, 1440);
+}
+
+TEST(BufferBased, MidBufferPicksMidLadder) {
+  BufferBasedAbr abr(30, 10.0, 40.0);
+  const auto rung = abr.choose(ContextBuilder().buffer(25.0).context);
+  EXPECT_GT(rung.resolution.height, 240);
+  EXPECT_LT(rung.resolution.height, 1440);
+}
+
+TEST(BufferBased, MonotoneInBufferLevel) {
+  BufferBasedAbr abr(30);
+  int previous = 0;
+  for (double buffer = 0.0; buffer <= 60.0; buffer += 5.0) {
+    const auto rung = abr.choose(ContextBuilder().buffer(buffer).context);
+    EXPECT_GE(rung.bitrate_kbps, previous);
+    previous = rung.bitrate_kbps;
+  }
+}
+
+TEST(Bola, EmptyBufferPicksLowRung) {
+  BolaAbr abr(30);
+  const auto rung = abr.choose(ContextBuilder().buffer(0.0).context);
+  EXPECT_EQ(rung.resolution.height, 240);
+}
+
+TEST(Bola, FullBufferPicksTopRung) {
+  BolaAbr abr(30, 40.0);
+  const auto rung = abr.choose(ContextBuilder().buffer(40.0).context);
+  EXPECT_EQ(rung.resolution.height, 1440);
+}
+
+TEST(Bola, MonotoneInBufferLevel) {
+  BolaAbr abr(30);
+  int previous = 0;
+  for (double buffer = 0.0; buffer <= 60.0; buffer += 4.0) {
+    const auto rung = abr.choose(ContextBuilder().buffer(buffer).context);
+    EXPECT_GE(rung.bitrate_kbps, previous);
+    previous = rung.bitrate_kbps;
+  }
+}
+
+TEST(NextFpsDown, StepsThroughLadderRates) {
+  const auto ladder = BitrateLadder::youtube();
+  EXPECT_EQ(next_fps_down(ladder, 60), 48);
+  EXPECT_EQ(next_fps_down(ladder, 48), 30);
+  EXPECT_EQ(next_fps_down(ladder, 30), 24);
+  EXPECT_EQ(next_fps_down(ladder, 24), 24);  // floor
+}
+
+TEST(MemoryAware, NoPressurePassesInnerChoiceThrough) {
+  MemoryAwareAbr abr(std::make_unique<RateBasedAbr>(60));
+  const auto rung = abr.choose(ContextBuilder().throughput(100.0).context);
+  EXPECT_EQ(rung.resolution.height, 1440);
+  EXPECT_EQ(rung.fps, 60);
+}
+
+TEST(MemoryAware, ModeratePressureCapsFrameRate) {
+  MemoryAwareAbr abr(std::make_unique<RateBasedAbr>(60));
+  const auto rung =
+      abr.choose(ContextBuilder().throughput(100.0).pressure(PressureLevel::Moderate).context);
+  EXPECT_LE(rung.fps, 48);
+  EXPECT_LE(rung.resolution.height, 1080);
+}
+
+TEST(MemoryAware, CriticalPressureCapsHard) {
+  MemoryAwareAbr abr(std::make_unique<RateBasedAbr>(60));
+  const auto rung =
+      abr.choose(ContextBuilder().throughput(100.0).pressure(PressureLevel::Critical).context);
+  EXPECT_LE(rung.fps, 24);
+  EXPECT_LE(rung.resolution.height, 480);
+}
+
+TEST(MemoryAware, DropsUnderCapTradeFrameRateFirst) {
+  // Under Moderate pressure with drops still high, the fps cap steps down
+  // another notch while resolution can stay (the §6 finding).
+  MemoryAwareAbr abr(std::make_unique<RateBasedAbr>(60));
+  const auto rung = abr.choose(ContextBuilder()
+                                   .throughput(100.0)
+                                   .pressure(PressureLevel::Moderate)
+                                   .drops(0.25)
+                                   .context);
+  EXPECT_LE(rung.fps, 30);
+}
+
+TEST(MemoryAware, HysteresisHoldsCapAfterPressureClears) {
+  MemoryAwareAbr abr(std::make_unique<RateBasedAbr>(60));
+  ContextBuilder builder;
+  builder.throughput(100.0);
+  // See Critical once...
+  abr.choose(builder.pressure(PressureLevel::Critical).segment(0).context);
+  // ...then pressure reads Normal on the next segment: cap must persist.
+  const auto rung = abr.choose(builder.pressure(PressureLevel::Normal).segment(1).context);
+  EXPECT_LE(rung.fps, 24);
+}
+
+TEST(MemoryAware, CapDecaysAfterSustainedCalm) {
+  MemoryAwareConfig config;
+  config.hold_segments = 2;
+  MemoryAwareAbr abr(std::make_unique<RateBasedAbr>(60), config);
+  ContextBuilder builder;
+  builder.throughput(100.0);
+  abr.choose(builder.pressure(PressureLevel::Critical).segment(0).context);
+  builder.pressure(PressureLevel::Normal);
+  video::Rung rung = *builder.ladder.find(240, 24);
+  for (int segment = 1; segment < 30; ++segment) {
+    rung = abr.choose(builder.segment(segment).context);
+  }
+  EXPECT_EQ(rung.fps, 60);
+  EXPECT_EQ(rung.resolution.height, 1440);
+}
+
+TEST(MemoryAware, NullInnerHoldsCurrentRung) {
+  MemoryAwareAbr abr(nullptr);
+  const auto rung = abr.choose(ContextBuilder().current(720, 60).context);
+  EXPECT_EQ(rung.resolution.height, 720);
+  EXPECT_EQ(rung.fps, 60);
+}
+
+TEST(MemoryAware, NameReflectsInnerPolicy) {
+  MemoryAwareAbr abr(std::make_unique<BolaAbr>(30));
+  EXPECT_EQ(abr.name(), "memory-aware(bola)");
+}
+
+}  // namespace
+}  // namespace mvqoe::abr

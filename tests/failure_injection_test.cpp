@@ -1,0 +1,182 @@
+// Failure-injection and edge-case tests: throttled links, mid-run
+// process death, rung churn, pathological configurations — the paths a
+// downstream user will hit the day they change a default.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "proc/activity_manager.hpp"
+#include "trace/analysis.hpp"
+
+namespace mvqoe {
+namespace {
+
+using mem::PressureLevel;
+using sim::sec;
+
+struct DeviceFixture {
+  core::Testbed testbed{core::nexus5(), 7};
+  DeviceFixture() { testbed.boot(); }
+
+  video::SessionConfig session_config(int height, int fps, int duration) {
+    video::SessionConfig config;
+    config.asset = video::dubai_flow_motion(duration);
+    config.initial_rung = *config.ladder.find(height, fps);
+    config.seed = 7;
+    return config;
+  }
+};
+
+TEST(FailureInjection, ThrottledLinkStallsDecoderWithoutCrashing) {
+  DeviceFixture fx;
+  // 0.8 Mbps link vs a 2.5 Mbps 480p30 stream: downloads cannot keep up,
+  // the decoder starves, and late frames drop — but nothing crashes and
+  // accounting stays exact.
+  fx.testbed.link.set_rate_mbps(0.8);
+  video::VideoSession session(fx.testbed.engine, fx.testbed.scheduler, fx.testbed.memory,
+                              fx.testbed.link, fx.testbed.tracer,
+                              fx.session_config(480, 30, 20));
+  bool finished = false;
+  session.start(fx.testbed.am.next_pid(), [&finished] { finished = true; });
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(240));
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(session.metrics().crashed);
+  const auto& metrics = session.metrics();
+  EXPECT_EQ(metrics.frames_presented + metrics.frames_dropped, 20 * 30);
+  EXPECT_GT(metrics.frames_dropped, 0);
+}
+
+TEST(FailureInjection, ClientProcessExitMidRunStopsSessionQuietly) {
+  DeviceFixture fx;
+  video::VideoSession session(fx.testbed.engine, fx.testbed.scheduler, fx.testbed.memory,
+                              fx.testbed.link, fx.testbed.tracer,
+                              fx.session_config(480, 30, 30));
+  const auto pid = fx.testbed.am.next_pid();
+  session.start(pid);
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(10));
+  // User swipes the app away: voluntary exit, not an lmkd kill.
+  fx.testbed.memory.exit_process(pid);
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(10));
+  // No crash flag (no kill callback), no further frame activity.
+  EXPECT_FALSE(session.metrics().crashed);
+  const auto presented = session.metrics().frames_presented;
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(5));
+  EXPECT_EQ(session.metrics().frames_presented, presented);
+}
+
+TEST(FailureInjection, RungChurnEverySegmentStaysConsistent) {
+  DeviceFixture fx;
+  auto config = fx.session_config(1080, 60, 24);
+  // Alternate rungs on every segment: exercises decoder-pool realloc and
+  // per-segment frame-count changes.
+  std::vector<video::ScheduledAbr::Step> steps;
+  const int rungs[][2] = {{1080, 60}, {240, 24}, {720, 48}, {360, 30}, {1080, 60}, {480, 24}};
+  for (int i = 0; i < 6; ++i) {
+    steps.push_back({i, *config.ladder.find(rungs[i][0], rungs[i][1])});
+  }
+  video::ScheduledAbr abr(steps);
+  video::VideoSession session(fx.testbed.engine, fx.testbed.scheduler, fx.testbed.memory,
+                              fx.testbed.link, fx.testbed.tracer, config, &abr);
+  bool finished = false;
+  session.start(fx.testbed.am.next_pid(), [&finished] { finished = true; });
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(90));
+  ASSERT_TRUE(finished);
+  // Frame totals must equal the sum over segments of fps * segment_s.
+  std::int64_t expected = 0;
+  for (const auto& rung : session.metrics().rung_history) expected += rung.fps * 4;
+  EXPECT_EQ(session.metrics().frames_presented + session.metrics().frames_dropped, expected);
+}
+
+TEST(FailureInjection, ZeroZramDeviceStillWorks) {
+  // A swapless device (like the real Nexus 5): reclaim can only evict
+  // file pages; pressure escalates to kills faster.
+  core::DeviceProfile device = core::nexus5();
+  device.memory.zram_capacity = 0;
+  core::VideoRunSpec spec;
+  spec.device = device;
+  spec.height = 480;
+  spec.fps = 30;
+  spec.pressure = PressureLevel::Moderate;
+  spec.asset = video::dubai_flow_motion(16);
+  const auto result = core::run_video(spec);
+  // Must complete (possibly with drops/crash) without violating accounting.
+  EXPECT_GE(result.metrics.frames_presented, 0);
+}
+
+TEST(FailureInjection, SingleCoreDeviceSerializesEverything) {
+  core::DeviceProfile device = core::nokia1();
+  device.scheduler.cores = {sched::CoreConfig{1.1}};
+  core::VideoRunSpec spec;
+  spec.device = device;
+  spec.height = 240;
+  spec.fps = 30;
+  spec.asset = video::dubai_flow_motion(12);
+  const auto result = core::run_video(spec);
+  EXPECT_FALSE(result.outcome.crashed);
+  // One 1.1 GHz core running client + system: playable at 240p30 but the
+  // schedule is tight; accounting must still be exact.
+  EXPECT_EQ(result.metrics.frames_presented + result.metrics.frames_dropped, 12 * 30);
+}
+
+TEST(FailureInjection, KillStormLeavesRegistryConsistent) {
+  DeviceFixture fx;
+  auto& memory = fx.testbed.memory;
+  // Kill every killable process in a tight loop.
+  for (int i = 0; i < 64; ++i) {
+    const auto victim = memory.registry().pick_victim(mem::OomAdj::kForeground);
+    if (!victim.has_value()) break;
+    memory.kill_process(*victim);
+  }
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(1));
+  for (const auto* process : memory.registry().all()) {
+    EXPECT_GE(process->anon_resident, 0);
+    EXPECT_GE(process->file_resident, 0);
+  }
+  EXPECT_GE(memory.free_pages(), 0);
+}
+
+TEST(FailureInjection, RespawnerRefillsAfterMassKill) {
+  DeviceFixture fx;
+  auto& memory = fx.testbed.memory;
+  const int before = memory.registry().cached_count();
+  for (int i = 0; i < before; ++i) {
+    const auto victim = memory.registry().pick_victim(mem::OomAdj::kCached);
+    if (victim.has_value()) memory.kill_process(*victim);
+  }
+  EXPECT_EQ(memory.registry().cached_count(), 0);
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(120));
+  EXPECT_GT(memory.registry().cached_count(), before / 2);
+}
+
+TEST(FailureInjection, PressureInducerUnreachableTargetIsBounded) {
+  // An 8 GB device cannot be driven to Critical by a 2x-RAM-capped
+  // allocator before the experiment times out; the inducer must stay
+  // bounded and the system functional.
+  core::Testbed testbed(core::generic_device(8192, 8, 2.5), 3);
+  testbed.boot();
+  core::PressureInducer inducer(testbed, PressureLevel::Critical);
+  inducer.start(nullptr);
+  testbed.engine.run_until(testbed.engine.now() + sec(60));
+  EXPECT_LE(inducer.held_pages(), 2 * testbed.profile().memory.total);
+  EXPECT_GE(testbed.memory.free_pages(), 0);
+}
+
+TEST(FailureInjection, StartupUnderCriticalEitherPlaysOrCrashesCleanly) {
+  core::VideoRunSpec spec;
+  spec.device = core::nokia1();
+  spec.height = 1080;
+  spec.fps = 60;
+  spec.pressure = PressureLevel::Critical;
+  spec.asset = video::dubai_flow_motion(16);
+  const auto result = core::run_video(spec);
+  // Whatever happens, the outcome must be classified: crashed or all
+  // frames accounted.
+  if (!result.outcome.crashed) {
+    EXPECT_EQ(result.metrics.frames_presented + result.metrics.frames_dropped, 16 * 60);
+  } else {
+    EXPECT_GE(result.outcome.drop_rate, 0.0);
+    EXPECT_LE(result.outcome.drop_rate, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mvqoe

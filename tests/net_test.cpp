@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+
+namespace mvqoe::net {
+namespace {
+
+using sim::msec;
+
+TEST(Link, IdleTransferTimeScalesWithBytes) {
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 8.0;  // 1 MB/s
+  config.propagation = msec(2);
+  config.per_transfer_overhead = msec(6);
+  Link link(engine, config);
+  EXPECT_EQ(link.idle_transfer_time(0), msec(8));
+  EXPECT_EQ(link.idle_transfer_time(1'000'000), msec(8) + sim::sec(1));
+}
+
+TEST(Link, TransferCompletesAtExpectedTime) {
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 80.0;
+  Link link(engine, config);
+  sim::Time done = -1;
+  link.transfer(1'000'000, [&] { done = engine.now(); });  // 1 MB at 10 MB/s
+  engine.run();
+  EXPECT_EQ(done, link.idle_transfer_time(1'000'000));
+  EXPECT_EQ(link.bytes_delivered(), 1'000'000u);
+}
+
+TEST(Link, TransfersAreSerializedFifo) {
+  sim::Engine engine;
+  Link link(engine, LinkConfig{});
+  std::vector<int> order;
+  sim::Time first_done = -1;
+  sim::Time second_done = -1;
+  link.transfer(1'000'000, [&] {
+    order.push_back(1);
+    first_done = engine.now();
+  });
+  link.transfer(1'000'000, [&] {
+    order.push_back(2);
+    second_done = engine.now();
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GT(second_done, first_done);
+}
+
+TEST(Link, QueueDepthReflectsBacklog) {
+  sim::Engine engine;
+  Link link(engine, LinkConfig{});
+  for (int i = 0; i < 3; ++i) link.transfer(1'000'000, nullptr);
+  EXPECT_TRUE(link.busy());
+  EXPECT_EQ(link.queued(), 2u);  // one in flight, two waiting
+  engine.run();
+  EXPECT_FALSE(link.busy());
+  EXPECT_EQ(link.queued(), 0u);
+}
+
+TEST(Link, RateChangeAffectsSubsequentTransfers) {
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 80.0;
+  Link link(engine, config);
+  const sim::Time fast = link.idle_transfer_time(1'000'000);
+  link.set_rate_mbps(8.0);
+  const sim::Time slow = link.idle_transfer_time(1'000'000);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Link, SegmentSizedTransfersAreFastOnLan) {
+  // §4.1 invariant: the network must never be the bottleneck. A 4-second
+  // 1440p60 segment (24 Mbps -> 12 MB) must download in well under 4 s.
+  sim::Engine engine;
+  Link link(engine, LinkConfig{});  // 80 Mbps default
+  sim::Time done = -1;
+  link.transfer(12'000'000, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_LT(done, sim::sec(2));
+}
+
+}  // namespace
+}  // namespace mvqoe::net

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "proc/activity_manager.hpp"
+
+namespace mvqoe::proc {
+namespace {
+
+using mem::OomAdj;
+using mem::pages_from_mb;
+
+struct Fixture {
+  sim::Engine engine;
+  mem::MemoryManager memory{engine, config()};
+  ActivityManager am{memory};
+
+  static mem::MemoryConfig config() {
+    mem::MemoryConfig config;
+    // Roomy enough that boot populations never trigger lmkd in these
+    // lifecycle tests.
+    config.total = pages_from_mb(2048);
+    config.kernel_reserved = pages_from_mb(200);
+    return config;
+  }
+};
+
+TEST(AppCatalog, TopFreeAppsHaveNoGamesAndRealFootprints) {
+  const auto& apps = top_free_apps();
+  ASSERT_GE(apps.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(apps[i].is_game);
+    EXPECT_GT(apps[i].heap_pages, 0);
+    EXPECT_GT(apps[i].code_pages, 0);
+  }
+}
+
+TEST(AppCatalog, GamesAreHeavierThanAverageApp) {
+  mem::Pages app_total = 0;
+  for (const auto& app : top_free_apps()) app_total += app.heap_pages;
+  const mem::Pages app_mean = app_total / static_cast<mem::Pages>(top_free_apps().size());
+  for (const auto& game : game_apps()) {
+    EXPECT_TRUE(game.is_game);
+    EXPECT_GT(game.heap_pages, app_mean);
+  }
+}
+
+TEST(AppCatalog, SystemProcessesScaleWithFactor) {
+  const auto small = system_processes(1.0);
+  const auto large = system_processes(2.0);
+  ASSERT_EQ(small.size(), large.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_GE(large[i].heap_pages, small[i].heap_pages);
+  }
+}
+
+TEST(AppCatalog, BaselineCachedAppsTrimmed) {
+  const auto cached = baseline_cached_apps(10);
+  ASSERT_EQ(cached.size(), 10u);
+  // Names must be unique so each registers as a distinct process.
+  for (std::size_t i = 1; i < cached.size(); ++i) {
+    EXPECT_NE(cached[i].name, cached[0].name);
+  }
+  EXPECT_LT(cached[0].heap_pages, top_free_apps()[0].heap_pages);
+}
+
+TEST(ActivityManager, BootPopulatesSystemAndCachedLru) {
+  Fixture fx;
+  fx.am.boot(1.0, 8);
+  EXPECT_EQ(fx.am.cached_count(), 8);
+  EXPECT_GT(fx.memory.anon_pages(), 0);
+  EXPECT_GT(fx.memory.file_pages(), 0);
+}
+
+TEST(ActivityManager, LaunchMakesAppForegroundAndPreviousCached) {
+  Fixture fx;
+  const auto first = fx.am.launch(top_free_apps()[0]);
+  EXPECT_EQ(fx.am.foreground(), first);
+  EXPECT_EQ(fx.memory.registry().find(first)->oom_adj, OomAdj::kForeground);
+
+  const auto second = fx.am.launch(top_free_apps()[1]);
+  EXPECT_EQ(fx.am.foreground(), second);
+  EXPECT_EQ(fx.memory.registry().find(first)->oom_adj, OomAdj::kCached);
+}
+
+TEST(ActivityManager, BringToForegroundSwapsRoles) {
+  Fixture fx;
+  const auto a = fx.am.launch(top_free_apps()[0]);
+  const auto b = fx.am.launch(top_free_apps()[1]);
+  fx.am.bring_to_foreground(a);
+  EXPECT_EQ(fx.am.foreground(), a);
+  EXPECT_EQ(fx.memory.registry().find(b)->oom_adj, OomAdj::kCached);
+  EXPECT_EQ(fx.memory.registry().find(a)->oom_adj, OomAdj::kForeground);
+}
+
+TEST(ActivityManager, CloseFreesMemory) {
+  Fixture fx;
+  const auto pid = fx.am.launch(top_free_apps()[0]);
+  const auto used = fx.memory.anon_pages();
+  EXPECT_GT(used, 0);
+  fx.am.close(pid);
+  EXPECT_LT(fx.memory.anon_pages(), used);
+  EXPECT_FALSE(fx.memory.registry().alive(pid));
+  EXPECT_EQ(fx.am.foreground(), 0u);
+}
+
+TEST(ActivityManager, PidsAreMonotonic) {
+  Fixture fx;
+  const auto a = fx.am.launch(top_free_apps()[0]);
+  const auto b = fx.am.launch(top_free_apps()[1]);
+  EXPECT_GT(b, a);
+}
+
+TEST(ActivityManager, KillCallbackPropagatesFromLmkd) {
+  Fixture fx;
+  bool killed = false;
+  const auto pid = fx.am.launch(top_free_apps()[0], [&] { killed = true; });
+  fx.am.move_to_background(pid);
+  fx.memory.kill_process(pid);
+  fx.engine.run();
+  EXPECT_TRUE(killed);
+}
+
+}  // namespace
+}  // namespace mvqoe::proc

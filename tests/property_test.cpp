@@ -1,0 +1,271 @@
+// Property-based / parameterized sweeps over the simulator's invariants
+// (TEST_P + INSTANTIATE_TEST_SUITE_P), exercising each property across a
+// grid of configurations and randomized operation sequences.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "abr/policies.hpp"
+#include "mem/memory_manager.hpp"
+#include "qoe/mos.hpp"
+#include "sched/scheduler.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "trace/analysis.hpp"
+#include "video/ladder.hpp"
+
+namespace mvqoe {
+namespace {
+
+// ---------- Scheduler: work conservation across topologies ------------------
+
+class SchedWorkConservation : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SchedWorkConservation, AllSubmittedWorkCompletesAtCapacityRate) {
+  const auto [cores, freq, threads] = GetParam();
+  sim::Engine engine;
+  trace::Tracer tracer;
+  sched::SchedulerConfig config;
+  config.cores = std::vector<sched::CoreConfig>(static_cast<std::size_t>(cores),
+                                                sched::CoreConfig{freq});
+  config.context_switch_cost_refus = 0.0;
+  config.migration_cost_refus = 0.0;
+  sched::Scheduler scheduler(engine, tracer, config);
+
+  const double work_each = 20'000.0;  // 20ms reference work per thread
+  int completed = 0;
+  for (int i = 0; i < threads; ++i) {
+    sched::ThreadSpec spec;
+    spec.name = "worker" + std::to_string(i);
+    spec.pid = 100;
+    const auto tid = scheduler.create_thread(spec);
+    scheduler.run_work(tid, work_each, [&completed] { ++completed; });
+  }
+  engine.run();
+  EXPECT_EQ(completed, threads);
+  // Wall time can never beat perfect parallel speedup and must be within
+  // ~25% of ideal for this embarrassingly parallel load.
+  const double total_work = work_each * threads;
+  const double ideal_us = total_work / (freq * cores);
+  const double serial_us = work_each / freq;  // at least one thread's worth
+  const double wall = static_cast<double>(engine.now());
+  EXPECT_GE(wall + 1.0, std::max(ideal_us, serial_us));
+  EXPECT_LE(wall, std::max(ideal_us, serial_us) * 1.25 + 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, SchedWorkConservation,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(0.5, 1.0, 2.33),
+                                            ::testing::Values(1, 3, 8, 16)));
+
+// ---------- Scheduler: fair share proportional to thread count --------------
+
+class SchedFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedFairness, EqualWeightThreadsGetEqualCpu) {
+  const int threads = GetParam();
+  sim::Engine engine;
+  trace::Tracer tracer;
+  sched::SchedulerConfig config;
+  config.cores = {sched::CoreConfig{1.0}};
+  config.context_switch_cost_refus = 0.0;
+  sched::Scheduler scheduler(engine, tracer, config);
+
+  std::vector<sched::ThreadId> tids;
+  std::vector<std::function<void()>> loops(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    sched::ThreadSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.pid = 1;
+    tids.push_back(scheduler.create_thread(spec));
+  }
+  for (int i = 0; i < threads; ++i) {
+    const auto tid = tids[static_cast<std::size_t>(i)];
+    auto& loop = loops[static_cast<std::size_t>(i)];
+    loop = [&scheduler, tid, &loop] { scheduler.run_work(tid, 2000.0, loop); };
+    loop();
+  }
+  engine.run_until(sim::sec(3));
+  tracer.finalize(engine.now());
+
+  const double expected = 3.0 / threads;
+  for (const auto tid : tids) {
+    const auto times = trace::state_times(tracer, {tid});
+    EXPECT_NEAR(times.running, expected, expected * 0.25)
+        << "thread " << tid << " of " << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SchedFairness, ::testing::Values(2, 3, 5, 8));
+
+// ---------- Memory manager: invariants under random operation storms --------
+
+class MemOpStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemOpStorm, PoolInvariantsHoldUnderRandomOps) {
+  sim::Engine engine;
+  mem::MemoryConfig config;
+  config.total = mem::pages_from_mb(512);
+  config.kernel_reserved = mem::pages_from_mb(64);
+  config.zram_capacity = mem::pages_from_mb(128);
+  config.minfree_cached = mem::pages_from_mb(24);
+  config.minfree_service = mem::pages_from_mb(16);
+  config.minfree_perceptible = mem::pages_from_mb(10);
+  config.minfree_foreground = mem::pages_from_mb(6);
+  mem::MemoryManager manager(engine, config);
+  stats::Rng rng(GetParam());
+
+  std::vector<mem::ProcessId> live;
+  mem::ProcessId next_pid = 100;
+  for (int op = 0; op < 600; ++op) {
+    engine.run_until(engine.now() + sim::msec(50));
+    const double dice = rng.uniform();
+    if (dice < 0.3 || live.empty()) {
+      const mem::ProcessId pid = next_pid++;
+      manager.register_process(pid, "p" + std::to_string(pid),
+                               rng.bernoulli(0.5) ? mem::OomAdj::kCached
+                                                  : mem::OomAdj::kService);
+      live.push_back(pid);
+      manager.alloc_anon(pid, rng.uniform_int(100, 8000), 0, nullptr);
+    } else {
+      const auto index =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      const mem::ProcessId pid = live[index];
+      if (!manager.registry().alive(pid)) {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+        continue;
+      }
+      const double action = rng.uniform();
+      if (action < 0.35) {
+        manager.alloc_anon(pid, rng.uniform_int(100, 6000), 0, nullptr);
+      } else if (action < 0.55) {
+        manager.free_anon(pid, rng.uniform_int(100, 4000));
+      } else if (action < 0.70) {
+        manager.map_file(pid, rng.uniform_int(50, 1500), 0, nullptr);
+      } else if (action < 0.85) {
+        manager.touch_working_set(pid, 0, rng.uniform_int(100, 4000),
+                                  rng.uniform_int(0, 800), nullptr);
+      } else {
+        manager.exit_process(pid);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+      }
+    }
+    // Invariants after every operation:
+    ASSERT_GE(manager.free_pages(), 0);
+    ASSERT_GE(manager.anon_pages(), 0);
+    ASSERT_GE(manager.file_pages(), 0);
+    ASSERT_GE(manager.zram_stored(), 0);
+    ASSERT_LE(manager.zram_stored(), config.zram_capacity);
+    ASSERT_LE(manager.available_pages(), config.total - config.kernel_reserved);
+    const double pressure = manager.pressure_P();
+    ASSERT_GE(pressure, 0.0);
+    ASSERT_LE(pressure, 100.0);
+  }
+  engine.run();
+
+  // Tear everything down: pools must return to zero.
+  for (const auto pid : live) manager.exit_process(pid);
+  engine.run();
+  EXPECT_EQ(manager.anon_pages(), 0);
+  EXPECT_EQ(manager.zram_stored(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemOpStorm, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---------- Ladder: structural properties over the whole grid ----------------
+
+class LadderProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderProperties, BitrateMonotoneInResolutionPerFps) {
+  const int fps = GetParam();
+  const auto ladder = video::BitrateLadder::youtube();
+  int previous = 0;
+  for (const int height : ladder.heights()) {
+    const auto rung = ladder.find(height, fps);
+    ASSERT_TRUE(rung.has_value());
+    EXPECT_GT(rung->bitrate_kbps, previous);
+    previous = rung->bitrate_kbps;
+  }
+}
+
+TEST_P(LadderProperties, StepDownUpAreInverseInTheInterior) {
+  const int fps = GetParam();
+  const auto ladder = video::BitrateLadder::youtube();
+  for (const int height : ladder.heights()) {
+    const auto rung = *ladder.find(height, fps);
+    const auto down = ladder.step_down(rung);
+    if (down.has_value()) {
+      const auto back = ladder.step_up(*down);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, rung);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameRates, LadderProperties, ::testing::Values(24, 30, 48, 60));
+
+// ---------- ABR: safety properties over a context grid -----------------------
+
+class AbrSafety : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(AbrSafety, MemoryAwareNeverExceedsLevelCaps) {
+  const auto [level, drops, fps] = GetParam();
+  const auto ladder = video::BitrateLadder::youtube();
+  abr::MemoryAwareConfig config;
+  abr::MemoryAwareAbr policy(std::make_unique<abr::RateBasedAbr>(fps), config);
+
+  video::AbrContext context;
+  context.ladder = &ladder;
+  context.current = *ladder.find(1080, fps);
+  context.buffer_seconds = 40.0;
+  context.throughput_mbps = 100.0;
+  context.pressure = static_cast<mem::PressureLevel>(level);
+  context.recent_drop_rate = drops;
+
+  const auto rung = policy.choose(context);
+  EXPECT_LE(rung.fps, config.max_fps[level]);
+  EXPECT_LE(rung.resolution.height, config.max_height[level]);
+  // The chosen rung must exist on the ladder.
+  EXPECT_TRUE(ladder.find(rung.resolution.height, rung.fps).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AbrSafety,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0.0, 0.05, 0.2, 0.6),
+                                            ::testing::Values(30, 60)));
+
+// ---------- MOS model: monotonicity over the drop-rate grid ------------------
+
+class MosMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosMonotonicity, WorseClipNeverRatesHigherOnAverage) {
+  const double reference = GetParam();
+  const qoe::MosModel model;
+  double previous_mean = 6.0;
+  for (double degraded = reference; degraded <= 0.9; degraded += 0.1) {
+    const auto survey = qoe::run_dmos_survey(model, reference, degraded, 400, 7);
+    EXPECT_LE(survey.mean(), previous_mean + 0.05)
+        << "reference " << reference << " degraded " << degraded;
+    previous_mean = survey.mean();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(References, MosMonotonicity, ::testing::Values(0.0, 0.03, 0.1));
+
+// ---------- RNG: distribution sanity over seeds -------------------------------
+
+class RngDistribution : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngDistribution, UniformMomentsWithinTolerance) {
+  stats::Rng rng(GetParam());
+  stats::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDistribution,
+                         ::testing::Values(1u, 42u, 1234567u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace mvqoe

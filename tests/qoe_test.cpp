@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "qoe/metrics.hpp"
+#include "qoe/mos.hpp"
+
+namespace mvqoe::qoe {
+namespace {
+
+TEST(RunAggregate, DropRateMeanAndCi) {
+  RunAggregate aggregate;
+  for (const double rate : {0.10, 0.20, 0.30, 0.20, 0.20}) {
+    aggregate.add(RunOutcome{rate, false, 300.0, 340.0, 0.5});
+  }
+  const auto drop = aggregate.drop_rate();
+  EXPECT_NEAR(drop.mean, 0.20, 1e-12);
+  EXPECT_GT(drop.ci95, 0.0);
+  EXPECT_EQ(aggregate.runs(), 5u);
+}
+
+TEST(RunAggregate, CrashRatePercent) {
+  RunAggregate aggregate;
+  aggregate.add(RunOutcome{1.0, true});
+  aggregate.add(RunOutcome{0.1, false});
+  aggregate.add(RunOutcome{1.0, true});
+  aggregate.add(RunOutcome{0.1, false});
+  aggregate.add(RunOutcome{1.0, true});
+  EXPECT_DOUBLE_EQ(aggregate.crash_rate_percent(), 60.0);
+}
+
+TEST(RunAggregate, CompletedOnlyExcludesCrashes) {
+  RunAggregate aggregate;
+  aggregate.add(RunOutcome{0.95, true});
+  aggregate.add(RunOutcome{0.10, false});
+  aggregate.add(RunOutcome{0.20, false});
+  EXPECT_NEAR(aggregate.drop_rate_completed().mean, 0.15, 1e-12);
+  EXPECT_EQ(aggregate.drop_rate_completed().n, 2u);
+}
+
+TEST(RunAggregate, EmptyIsSafe) {
+  RunAggregate aggregate;
+  EXPECT_DOUBLE_EQ(aggregate.crash_rate_percent(), 0.0);
+  EXPECT_EQ(aggregate.drop_rate().n, 0u);
+}
+
+TEST(RunAggregate, PssMinMaxAcrossRuns) {
+  RunAggregate aggregate;
+  aggregate.add(RunOutcome{0.0, false, 300.0, 320.0});
+  aggregate.add(RunOutcome{0.0, false, 310.0, 360.0});
+  EXPECT_DOUBLE_EQ(aggregate.min_peak_pss_mb(), 320.0);
+  EXPECT_DOUBLE_EQ(aggregate.max_peak_pss_mb(), 360.0);
+  EXPECT_NEAR(aggregate.mean_pss_mb().mean, 305.0, 1e-12);
+}
+
+TEST(FormatMeanCi, RendersPlusMinus) {
+  stats::MeanCi value;
+  value.mean = 12.34;
+  value.ci95 = 1.23;
+  EXPECT_EQ(format_mean_ci(value, 1), "12.3 +- 1.2");
+}
+
+TEST(MosModel, AnnoyanceMonotoneInDropRate) {
+  MosModel model;
+  double previous = -1.0;
+  for (double rate = 0.0; rate <= 1.0; rate += 0.05) {
+    const double annoyance = model.annoyance(rate);
+    EXPECT_GE(annoyance, previous);
+    EXPECT_GE(annoyance, 0.0);
+    EXPECT_LE(annoyance, 1.0);
+    previous = annoyance;
+  }
+}
+
+TEST(MosModel, FewDropsAreImperceptible) {
+  MosModel model;
+  EXPECT_LT(model.annoyance(0.01), 0.15);
+  EXPECT_NEAR(model.annoyance(0.0), 0.0, 1e-9);
+}
+
+TEST(MosModel, HeavyDropsSaturate) {
+  MosModel model;
+  EXPECT_GT(model.annoyance(0.60), 0.95);
+}
+
+TEST(MosModel, DifferentialScoreFiveWhenClipsIdentical) {
+  MosModel model;
+  stats::Rng rng(1);
+  int total = 0;
+  for (int i = 0; i < 200; ++i) total += model.differential_score(0.03, 0.03, rng);
+  EXPECT_GT(static_cast<double>(total) / 200.0, 4.0);
+}
+
+TEST(MosModel, SurveyReproducesFig10Shape) {
+  // Fig 10: 99 raters, 3% vs 35% drops; "vast majority" notice, with 60
+  // raters scoring 1 or 2.
+  const auto survey = run_dmos_survey(MosModel{}, 0.03, 0.35, 99, 42);
+  ASSERT_EQ(survey.scores.size(), 99u);
+  const std::size_t low = survey.count(1) + survey.count(2);
+  EXPECT_GE(low, 50u);
+  EXPECT_LE(low, 75u);
+  EXPECT_LT(survey.mean(), 2.8);
+  EXPECT_GT(survey.mean(), 1.4);
+}
+
+TEST(MosModel, SurveyDeterministicPerSeed) {
+  const auto a = run_dmos_survey(MosModel{}, 0.03, 0.35, 99, 7);
+  const auto b = run_dmos_survey(MosModel{}, 0.03, 0.35, 99, 7);
+  EXPECT_EQ(a.scores, b.scores);
+}
+
+TEST(MosModel, WorseDegradationLowersScores) {
+  const auto mild = run_dmos_survey(MosModel{}, 0.03, 0.10, 99, 9);
+  const auto severe = run_dmos_survey(MosModel{}, 0.03, 0.50, 99, 9);
+  EXPECT_GT(mild.mean(), severe.mean());
+}
+
+}  // namespace
+}  // namespace mvqoe::qoe

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace mvqoe::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(msec(1), 1000);
+  EXPECT_EQ(sec(1), 1'000'000);
+  EXPECT_EQ(minutes(2), sec(120));
+  EXPECT_EQ(hours(1), minutes(60));
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(msec(7)), 7.0);
+  EXPECT_EQ(from_seconds(2.5), sec(2) + msec(500));
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(sec(3), [&] { order.push_back(3); });
+  engine.schedule_at(sec(1), [&] { order.push_back(1); });
+  engine.schedule_at(sec(2), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), sec(3));
+}
+
+TEST(Engine, SameTimeEventsFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(sec(1), [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleRelativeDelay) {
+  Engine engine;
+  Time fired_at = -1;
+  engine.schedule_at(sec(5), [&] {
+    engine.schedule(msec(100), [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired_at, sec(5) + msec(100));
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine engine;
+  Time fired_at = -1;
+  engine.schedule_at(sec(1), [&] {
+    engine.schedule(-sec(10), [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired_at, sec(1));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(sec(1), [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // second cancel is a no-op
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelInvalidIdIsNoop) {
+  Engine engine;
+  EXPECT_FALSE(engine.cancel(kInvalidEvent));
+  EXPECT_FALSE(engine.cancel(9999));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(sec(1), [&] { ++fired; });
+  engine.schedule_at(sec(2), [&] { ++fired; });
+  engine.schedule_at(sec(3), [&] { ++fired; });
+  engine.run_until(sec(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), sec(2));
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(sec(10));
+  EXPECT_EQ(engine.now(), sec(10));
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  bool fired = false;
+  engine.schedule(0, [&] { fired = true; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) engine.schedule(msec(1), recurse);
+  };
+  engine.schedule(0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(engine.now(), msec(99));
+}
+
+TEST(Engine, PendingEventsExcludesCancelled) {
+  Engine engine;
+  const EventId a = engine.schedule_at(sec(1), [] {});
+  engine.schedule_at(sec(2), [] {});
+  EXPECT_EQ(engine.pending_events(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(PeriodicTask, FiresAtPeriodUntilStopped) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, sec(1), [&] { ++fires; });
+  task.start();
+  engine.run_until(sec(5));
+  EXPECT_EQ(fires, 5);
+  task.stop();
+  engine.run_until(sec(10));
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTask, RestartAfterStop) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, sec(1), [&] { ++fires; });
+  task.start();
+  engine.run_until(sec(2));
+  task.stop();
+  task.start();
+  engine.run_until(sec(4));
+  EXPECT_EQ(fires, 4);
+  EXPECT_TRUE(task.running());
+}
+
+TEST(PeriodicTask, DoubleStartIsIdempotent) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, sec(1), [&] { ++fires; });
+  task.start();
+  task.start();
+  engine.run_until(sec(3));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTask, CanStopItselfFromCallback) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, sec(1), [&] {
+    if (++fires == 3) task.stop();
+  });
+  task.start();
+  engine.run_until(sec(10));
+  EXPECT_EQ(fires, 3);
+}
+
+}  // namespace
+}  // namespace mvqoe::sim

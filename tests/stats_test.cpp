@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace mvqoe::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DeriveSeedProducesDistinctStreams) {
+  const auto s1 = derive_seed(7, 0);
+  const auto s2 = derive_seed(7, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1, derive_seed(7, 0));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(6);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(7);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.exponential(4.0));
+  EXPECT_NEAR(acc.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(8);
+  Accumulator small;
+  Accumulator large;
+  for (int i = 0; i < 20000; ++i) {
+    small.add(static_cast<double>(rng.poisson(2.5)));
+    large.add(static_cast<double>(rng.poisson(80.0)));
+  }
+  EXPECT_NEAR(small.mean(), 2.5, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_EQ(acc.count(), 4u);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator a;
+  Accumulator b;
+  Accumulator all;
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.ci95_halfwidth(), 0.0);
+}
+
+TEST(Summary, MeanCiShrinksWithSamples) {
+  Rng rng(13);
+  std::vector<double> few;
+  std::vector<double> many;
+  for (int i = 0; i < 10; ++i) few.push_back(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) many.push_back(rng.normal(0, 1));
+  EXPECT_GT(mean_ci(few).ci95, mean_ci(many).ci95);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+}
+
+TEST(Summary, PercentileClampsOutOfRangeP) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200.0), 3.0);
+}
+
+TEST(Summary, EmpiricalCdfMonotone) {
+  std::vector<double> xs{3.0, 1.0, 2.0, 2.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 4u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Summary, BoxStatsQuartiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  const auto box = box_stats(xs);
+  EXPECT_DOUBLE_EQ(box.median, 51.0);
+  EXPECT_DOUBLE_EQ(box.q25, 26.0);
+  EXPECT_DOUBLE_EQ(box.q75, 76.0);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 101.0);
+}
+
+TEST(Summary, ViolinDensityPeaksNearMode) {
+  Rng rng(14);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  const auto violin = violin_summary(xs, 21);
+  ASSERT_EQ(violin.grid.size(), 21u);
+  // Peak density should be near the distribution center.
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < violin.density.size(); ++i) {
+    if (violin.density[i] > violin.density[peak]) peak = i;
+  }
+  EXPECT_NEAR(violin.grid[peak], 50.0, 5.0);
+  EXPECT_DOUBLE_EQ(*std::max_element(violin.density.begin(), violin.density.end()), 1.0);
+}
+
+TEST(Summary, ViolinEmptyInputSafe) {
+  const auto violin = violin_summary({}, 10);
+  EXPECT_TRUE(violin.grid.empty());
+}
+
+TEST(Summary, AsciiBarWidthAndFill) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "..........");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10), "#####.....");
+  EXPECT_EQ(ascii_bar(2.0, 4), "####");  // clamped
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps to last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+}
+
+TEST(Histogram, RenderContainsEveryBin) {
+  Histogram h(0.0, 5.0, 5);
+  for (int i = 0; i < 5; ++i) h.add(static_cast<double>(i) + 0.5);
+  const std::string out = h.render(10);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace mvqoe::stats
