@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_time_in_states.dir/bench_fig04_time_in_states.cpp.o"
+  "CMakeFiles/bench_fig04_time_in_states.dir/bench_fig04_time_in_states.cpp.o.d"
+  "bench_fig04_time_in_states"
+  "bench_fig04_time_in_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_time_in_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pss.dir/bench_fig08_pss.cpp.o"
+  "CMakeFiles/bench_fig08_pss.dir/bench_fig08_pss.cpp.o.d"
+  "bench_fig08_pss"
+  "bench_fig08_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

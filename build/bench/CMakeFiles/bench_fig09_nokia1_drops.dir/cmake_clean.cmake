@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_nokia1_drops.dir/bench_fig09_nokia1_drops.cpp.o"
+  "CMakeFiles/bench_fig09_nokia1_drops.dir/bench_fig09_nokia1_drops.cpp.o.d"
+  "bench_fig09_nokia1_drops"
+  "bench_fig09_nokia1_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_nokia1_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

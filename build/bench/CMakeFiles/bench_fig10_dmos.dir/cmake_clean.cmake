@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dmos.dir/bench_fig10_dmos.cpp.o"
+  "CMakeFiles/bench_fig10_dmos.dir/bench_fig10_dmos.cpp.o.d"
+  "bench_fig10_dmos"
+  "bench_fig10_dmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_nexus5_drops.dir/bench_fig11_nexus5_drops.cpp.o"
+  "CMakeFiles/bench_fig11_nexus5_drops.dir/bench_fig11_nexus5_drops.cpp.o.d"
+  "bench_fig11_nexus5_drops"
+  "bench_fig11_nexus5_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_nexus5_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_genres.dir/bench_fig12_genres.cpp.o"
+  "CMakeFiles/bench_fig12_genres.dir/bench_fig12_genres.cpp.o.d"
+  "bench_fig12_genres"
+  "bench_fig12_genres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_genres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_kswapd_states.dir/bench_fig13_kswapd_states.cpp.o"
+  "CMakeFiles/bench_fig13_kswapd_states.dir/bench_fig13_kswapd_states.cpp.o.d"
+  "bench_fig13_kswapd_states"
+  "bench_fig13_kswapd_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_kswapd_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_lmkd_crash.dir/bench_fig14_lmkd_crash.cpp.o"
+  "CMakeFiles/bench_fig14_lmkd_crash.dir/bench_fig14_lmkd_crash.cpp.o.d"
+  "bench_fig14_lmkd_crash"
+  "bench_fig14_lmkd_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_lmkd_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_organic.dir/bench_fig15_organic.cpp.o"
+  "CMakeFiles/bench_fig15_organic.dir/bench_fig15_organic.cpp.o.d"
+  "bench_fig15_organic"
+  "bench_fig15_organic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_organic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

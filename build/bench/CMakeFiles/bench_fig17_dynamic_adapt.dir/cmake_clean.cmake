@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_dynamic_adapt.dir/bench_fig17_dynamic_adapt.cpp.o"
+  "CMakeFiles/bench_fig17_dynamic_adapt.dir/bench_fig17_dynamic_adapt.cpp.o.d"
+  "bench_fig17_dynamic_adapt"
+  "bench_fig17_dynamic_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_dynamic_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

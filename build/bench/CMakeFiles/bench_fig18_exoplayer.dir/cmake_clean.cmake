@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_exoplayer.dir/bench_fig18_exoplayer.cpp.o"
+  "CMakeFiles/bench_fig18_exoplayer.dir/bench_fig18_exoplayer.cpp.o.d"
+  "bench_fig18_exoplayer"
+  "bench_fig18_exoplayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_exoplayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_chrome.dir/bench_fig19_chrome.cpp.o"
+  "CMakeFiles/bench_fig19_chrome.dir/bench_fig19_chrome.cpp.o.d"
+  "bench_fig19_chrome"
+  "bench_fig19_chrome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_chrome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

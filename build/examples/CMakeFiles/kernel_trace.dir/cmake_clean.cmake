@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_trace.dir/kernel_trace.cpp.o"
+  "CMakeFiles/kernel_trace.dir/kernel_trace.cpp.o.d"
+  "kernel_trace"
+  "kernel_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

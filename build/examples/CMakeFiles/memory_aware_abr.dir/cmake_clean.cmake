@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_aware_abr.dir/memory_aware_abr.cpp.o"
+  "CMakeFiles/memory_aware_abr.dir/memory_aware_abr.cpp.o.d"
+  "memory_aware_abr"
+  "memory_aware_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_aware_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/organic_pressure.dir/organic_pressure.cpp.o"
+  "CMakeFiles/organic_pressure.dir/organic_pressure.cpp.o.d"
+  "organic_pressure"
+  "organic_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/organic_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

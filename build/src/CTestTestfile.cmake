@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("sim")
+subdirs("trace")
+subdirs("sched")
+subdirs("storage")
+subdirs("mem")
+subdirs("proc")
+subdirs("net")
+subdirs("video")
+subdirs("abr")
+subdirs("qoe")
+subdirs("core")
+subdirs("study")

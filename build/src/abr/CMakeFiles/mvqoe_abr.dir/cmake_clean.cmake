@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_abr.dir/policies.cpp.o"
+  "CMakeFiles/mvqoe_abr.dir/policies.cpp.o.d"
+  "libmvqoe_abr.a"
+  "libmvqoe_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

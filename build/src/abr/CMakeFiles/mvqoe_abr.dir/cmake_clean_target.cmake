@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvqoe_abr.a"
+)

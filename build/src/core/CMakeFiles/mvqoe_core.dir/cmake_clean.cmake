@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_core.dir/device.cpp.o"
+  "CMakeFiles/mvqoe_core.dir/device.cpp.o.d"
+  "CMakeFiles/mvqoe_core.dir/experiment.cpp.o"
+  "CMakeFiles/mvqoe_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/mvqoe_core.dir/pressure_inducer.cpp.o"
+  "CMakeFiles/mvqoe_core.dir/pressure_inducer.cpp.o.d"
+  "CMakeFiles/mvqoe_core.dir/system_activity.cpp.o"
+  "CMakeFiles/mvqoe_core.dir/system_activity.cpp.o.d"
+  "CMakeFiles/mvqoe_core.dir/testbed.cpp.o"
+  "CMakeFiles/mvqoe_core.dir/testbed.cpp.o.d"
+  "libmvqoe_core.a"
+  "libmvqoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

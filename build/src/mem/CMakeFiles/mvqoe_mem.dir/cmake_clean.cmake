@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_mem.dir/memory_manager.cpp.o"
+  "CMakeFiles/mvqoe_mem.dir/memory_manager.cpp.o.d"
+  "CMakeFiles/mvqoe_mem.dir/process_registry.cpp.o"
+  "CMakeFiles/mvqoe_mem.dir/process_registry.cpp.o.d"
+  "libmvqoe_mem.a"
+  "libmvqoe_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

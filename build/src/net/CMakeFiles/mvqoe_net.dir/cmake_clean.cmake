@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_net.dir/link.cpp.o"
+  "CMakeFiles/mvqoe_net.dir/link.cpp.o.d"
+  "libmvqoe_net.a"
+  "libmvqoe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_proc.dir/activity_manager.cpp.o"
+  "CMakeFiles/mvqoe_proc.dir/activity_manager.cpp.o.d"
+  "CMakeFiles/mvqoe_proc.dir/app_catalog.cpp.o"
+  "CMakeFiles/mvqoe_proc.dir/app_catalog.cpp.o.d"
+  "libmvqoe_proc.a"
+  "libmvqoe_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_qoe.dir/metrics.cpp.o"
+  "CMakeFiles/mvqoe_qoe.dir/metrics.cpp.o.d"
+  "CMakeFiles/mvqoe_qoe.dir/mos.cpp.o"
+  "CMakeFiles/mvqoe_qoe.dir/mos.cpp.o.d"
+  "libmvqoe_qoe.a"
+  "libmvqoe_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/mvqoe_sched.dir/scheduler.cpp.o.d"
+  "libmvqoe_sched.a"
+  "libmvqoe_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

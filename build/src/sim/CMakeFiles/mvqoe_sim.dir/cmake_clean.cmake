@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_sim.dir/engine.cpp.o"
+  "CMakeFiles/mvqoe_sim.dir/engine.cpp.o.d"
+  "libmvqoe_sim.a"
+  "libmvqoe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mvqoe_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mvqoe_stats.dir/rng.cpp.o"
+  "CMakeFiles/mvqoe_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/mvqoe_stats.dir/summary.cpp.o"
+  "CMakeFiles/mvqoe_stats.dir/summary.cpp.o.d"
+  "libmvqoe_stats.a"
+  "libmvqoe_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_storage.dir/storage.cpp.o"
+  "CMakeFiles/mvqoe_storage.dir/storage.cpp.o.d"
+  "libmvqoe_storage.a"
+  "libmvqoe_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

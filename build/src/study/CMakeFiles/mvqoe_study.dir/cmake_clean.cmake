@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_study.dir/analysis.cpp.o"
+  "CMakeFiles/mvqoe_study.dir/analysis.cpp.o.d"
+  "CMakeFiles/mvqoe_study.dir/device_sim.cpp.o"
+  "CMakeFiles/mvqoe_study.dir/device_sim.cpp.o.d"
+  "CMakeFiles/mvqoe_study.dir/population.cpp.o"
+  "CMakeFiles/mvqoe_study.dir/population.cpp.o.d"
+  "libmvqoe_study.a"
+  "libmvqoe_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvqoe_study.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_trace.dir/analysis.cpp.o"
+  "CMakeFiles/mvqoe_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/mvqoe_trace.dir/tracer.cpp.o"
+  "CMakeFiles/mvqoe_trace.dir/tracer.cpp.o.d"
+  "libmvqoe_trace.a"
+  "libmvqoe_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqoe_video.dir/asset.cpp.o"
+  "CMakeFiles/mvqoe_video.dir/asset.cpp.o.d"
+  "CMakeFiles/mvqoe_video.dir/ladder.cpp.o"
+  "CMakeFiles/mvqoe_video.dir/ladder.cpp.o.d"
+  "CMakeFiles/mvqoe_video.dir/player_profile.cpp.o"
+  "CMakeFiles/mvqoe_video.dir/player_profile.cpp.o.d"
+  "CMakeFiles/mvqoe_video.dir/session.cpp.o"
+  "CMakeFiles/mvqoe_video.dir/session.cpp.o.d"
+  "libmvqoe_video.a"
+  "libmvqoe_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqoe_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mvqoe_video.
+# This may be replaced when dependencies are built.

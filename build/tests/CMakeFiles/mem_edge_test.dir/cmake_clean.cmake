@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_edge_test.dir/mem_edge_test.cpp.o"
+  "CMakeFiles/mem_edge_test.dir/mem_edge_test.cpp.o.d"
+  "mem_edge_test"
+  "mem_edge_test.pdb"
+  "mem_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

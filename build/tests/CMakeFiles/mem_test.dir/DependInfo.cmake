@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/mem_test.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/mvqoe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mvqoe_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mvqoe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mvqoe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvqoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvqoe_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoe_test.dir/qoe_test.cpp.o"
+  "CMakeFiles/qoe_test.dir/qoe_test.cpp.o.d"
+  "qoe_test"
+  "qoe_test.pdb"
+  "qoe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_edge_test.dir/sched_edge_test.cpp.o"
+  "CMakeFiles/sched_edge_test.dir/sched_edge_test.cpp.o.d"
+  "sched_edge_test"
+  "sched_edge_test.pdb"
+  "sched_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
