@@ -6,6 +6,16 @@
 
 namespace mvqoe::core {
 
+const char* to_string(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::Completed: return "Completed";
+    case RunStatus::Crashed: return "Crashed";
+    case RunStatus::Aborted: return "Aborted";
+    case RunStatus::TimedOut: return "TimedOut";
+  }
+  return "?";
+}
+
 VideoExperiment::VideoExperiment(VideoRunSpec spec) : spec_(std::move(spec)) {
   testbed_ = std::make_unique<Testbed>(spec_.device, spec_.seed);
 }
@@ -96,14 +106,38 @@ VideoRunResult VideoExperiment::run() {
     config.initial_rung = rung.value_or(config.ladder.rungs().front());
     config.seed = stats::derive_seed(spec_.seed, 0xBEEF);
   }
+  if (spec_.recovery.has_value()) config.recovery = *spec_.recovery;
+  if (!config.next_pid) {
+    config.next_pid = [&tb] { return tb.am.next_pid(); };
+  }
 
   VideoRunResult result;
   result.start_level = std::max(start_level, tb.memory.level());
+
+  if (spec_.run_watchdog) {
+    watchdog_ = std::make_unique<fault::InvariantWatchdog>(tb.engine, fault::WatchdogConfig{},
+                                                           &tb.memory, &tb.tracer);
+    watchdog_->start();
+  }
 
   session_ = std::make_unique<video::VideoSession>(tb.engine, tb.scheduler, tb.memory, tb.link,
                                                    tb.tracer, config, spec_.abr);
   bool finished = false;
   const sim::Time video_start = tb.engine.now();
+
+  if (!spec_.fault_plan.empty()) {
+    fault::FaultTargets targets;
+    targets.engine = &tb.engine;
+    targets.link = &tb.link;
+    targets.storage = &tb.storage;
+    targets.scheduler = &tb.scheduler;
+    targets.memory = &tb.memory;
+    targets.tracer = &tb.tracer;
+    injector_ = std::make_unique<fault::FaultInjector>(targets, spec_.fault_plan);
+    injector_->set_kill_target([this] { return session_->pid(); });
+    injector_->arm(video_start);
+  }
+
   session_->start(tb.am.next_pid(), [&finished] { finished = true; });
 
   // Horizon: generous multiple of the video duration; a session that
@@ -113,11 +147,31 @@ VideoRunResult VideoExperiment::run() {
   while (!finished && tb.engine.now() < horizon) {
     tb.engine.run_until(tb.engine.now() + sim::sec(1));
   }
+  if (injector_ != nullptr) injector_->disarm();
+  if (watchdog_ != nullptr) {
+    watchdog_->check_now();
+    watchdog_->stop();
+    result.watchdog_violations = watchdog_->violations();
+  }
   tb.tracer.finalize(tb.engine.now());
 
   result.metrics = session_->metrics();
+  if (result.metrics.crashed) {
+    result.status = RunStatus::Crashed;
+    result.failure_reason = "client killed with no relaunch budget left";
+  } else if (result.metrics.aborted) {
+    result.status = RunStatus::Aborted;
+    result.failure_reason = result.metrics.abort_reason;
+  } else if (!finished) {
+    result.status = RunStatus::TimedOut;
+    result.failure_reason = "session did not finish within the run horizon";
+  }
   qoe::RunOutcome& outcome = result.outcome;
   outcome.crashed = result.metrics.crashed;
+  outcome.aborted = result.metrics.aborted;
+  outcome.relaunches = result.metrics.relaunches;
+  outcome.rebuffer_events = result.metrics.rebuffer_events;
+  outcome.relaunch_downtime_s = sim::to_seconds(result.metrics.relaunch_downtime);
   if (!finished && !result.metrics.crashed) {
     // Unplayable without a kill (starved forever): classify every frame
     // that never got presented as dropped (paper: "the video was either

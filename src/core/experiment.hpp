@@ -6,9 +6,13 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/pressure_inducer.hpp"
 #include "core/testbed.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/watchdog.hpp"
 #include "qoe/metrics.hpp"
 #include "video/session.hpp"
 
@@ -31,13 +35,36 @@ struct VideoRunSpec {
   video::AbrPolicy* abr = nullptr;
   /// Override the session defaults when set.
   std::optional<video::SessionConfig> session_override;
+  /// Fault script, armed when the video starts (plan times are relative
+  /// to video start). Kill entries with pid 0 target the video client.
+  fault::FaultPlan fault_plan;
+  /// Session recovery knobs (applied on top of session_override).
+  std::optional<video::RecoveryConfig> recovery;
+  /// Run the invariant watchdog alongside the video and report its
+  /// violations in the result (debug/test harnesses).
+  bool run_watchdog = false;
 };
+
+/// How a run ended — structured partial results instead of a bare crash
+/// bit, so fault scenarios can assert on the exact failure mode.
+enum class RunStatus : std::uint8_t {
+  Completed,  // played to the end (possibly after absorbed kills)
+  Crashed,    // client killed terminally (no relaunch budget left)
+  Aborted,    // unrecoverable download failure (retry budget exhausted)
+  TimedOut,   // did not finish within the horizon (unplayable/livelock)
+};
+
+const char* to_string(RunStatus status) noexcept;
 
 struct VideoRunResult {
   qoe::RunOutcome outcome;
   video::SessionMetrics metrics;
+  RunStatus status = RunStatus::Completed;
+  std::string failure_reason;
   /// Pressure level observed when playback started.
   mem::PressureLevel start_level = mem::PressureLevel::Normal;
+  /// Populated when spec.run_watchdog was set.
+  std::vector<fault::WatchdogViolation> watchdog_violations;
 };
 
 /// A single run with full access to the testbed afterwards — the §5
@@ -53,6 +80,8 @@ class VideoExperiment {
 
   Testbed& testbed() noexcept { return *testbed_; }
   video::VideoSession& session() noexcept { return *session_; }
+  /// Non-null while a fault plan is active (after run() started it).
+  fault::FaultInjector* injector() noexcept { return injector_.get(); }
   /// Simulated time at which playback (frame deadlines) began.
   sim::Time playback_start() const noexcept;
 
@@ -61,6 +90,8 @@ class VideoExperiment {
   std::unique_ptr<Testbed> testbed_;
   std::unique_ptr<PressureInducer> inducer_;
   std::unique_ptr<video::VideoSession> session_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::InvariantWatchdog> watchdog_;
 };
 
 /// Convenience single run.

@@ -1,0 +1,207 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvqoe::fault {
+
+namespace {
+
+// Derived-seed streams so each stochastic consumer is independent of the
+// others and of plan edits that add/remove scripted actions.
+constexpr std::uint64_t kGeStream = 1;
+constexpr std::uint64_t kStorageStream = 2;
+
+sim::Time sample_sojourn(stats::Rng& rng, sim::Time mean) {
+  const double us = rng.exponential(static_cast<double>(std::max<sim::Time>(mean, 1)));
+  return std::max<sim::Time>(1, static_cast<sim::Time>(std::llround(us)));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultTargets targets, FaultPlan plan)
+    : targets_(targets),
+      plan_(std::move(plan)),
+      rng_(stats::derive_seed(plan_.seed, kGeStream)) {}
+
+FaultInjector::~FaultInjector() {
+  if (armed_) disarm();
+}
+
+void FaultInjector::set_kill_target(std::function<mem::ProcessId()> resolver) {
+  kill_target_ = std::move(resolver);
+}
+
+void FaultInjector::schedule_action(sim::Time when, sim::Engine::Callback fn) {
+  pending_.push_back(targets_.engine->schedule_at(when, std::move(fn)));
+}
+
+void FaultInjector::record(trace::InstantKind kind, std::int64_t value) {
+  const sim::Time now = targets_.engine->now();
+  log_.push_back(FaultRecord{kind, now, value});
+  if (targets_.tracer) targets_.tracer->instant(kind, now, trace::kNoThread, value);
+}
+
+void FaultInjector::arm(sim::Time base) {
+  if (armed_ || !targets_.engine) return;
+  armed_ = true;
+  nominal_rate_mbps_ = targets_.link ? targets_.link->config().rate_mbps
+                                     : plan_.gilbert_elliott.good_rate_mbps;
+
+  for (const auto& outage : plan_.link_outages) {
+    schedule_action(base + outage.at, [this, outage] { begin_outage(outage); });
+    schedule_action(base + outage.at + outage.duration, [this] { end_outage(); });
+  }
+  for (const auto& step : plan_.link_rate_steps) {
+    schedule_action(base + step.at, [this, step] { apply_rate(step.rate_mbps); });
+  }
+  for (const auto& window : plan_.storage_degradations) {
+    schedule_action(base + window.at, [this, window] { begin_storage_window(window); });
+    schedule_action(base + window.at + window.duration, [this] { end_storage_window(); });
+  }
+  for (const auto& window : plan_.thermal_windows) {
+    schedule_action(base + window.at, [this, window] { begin_thermal_window(window); });
+    schedule_action(base + window.at + window.duration, [this] { end_thermal_window(); });
+  }
+  for (const auto& kill : plan_.kills) {
+    schedule_action(base + kill.at, [this, kill] { fire_kill(kill); });
+  }
+  if (plan_.gilbert_elliott.enabled) {
+    ge_bad_ = false;
+    const sim::Time first = sample_sojourn(rng_, plan_.gilbert_elliott.mean_good);
+    schedule_action(std::max(base, targets_.engine->now()) + first, [this] { ge_transition(); });
+  }
+}
+
+void FaultInjector::disarm() {
+  if (!armed_) return;
+  for (const sim::EventId id : pending_) targets_.engine->cancel(id);
+  pending_.clear();
+  // Restore nominal conditions for any window still open.
+  if (ge_bad_) {
+    if (ge_outage_) {
+      ge_outage_ = false;
+      end_outage();
+    } else {
+      apply_rate(nominal_rate_mbps_);
+    }
+    ge_bad_ = false;
+  }
+  while (open_outages_ > 0) end_outage();
+  while (open_storage_windows_ > 0) end_storage_window();
+  while (open_thermal_windows_ > 0) end_thermal_window();
+  armed_ = false;
+}
+
+void FaultInjector::begin_outage(const LinkOutage& outage) {
+  if (!targets_.link) {
+    ++skipped_actions_;
+    return;
+  }
+  if (++open_outages_ == 1) targets_.link->set_down(true);
+  record(trace::InstantKind::LinkDown, outage.duration);
+}
+
+void FaultInjector::end_outage() {
+  if (!targets_.link || open_outages_ == 0) return;
+  if (--open_outages_ == 0) {
+    targets_.link->set_down(false);
+    record(trace::InstantKind::LinkUp, 0);
+  }
+}
+
+void FaultInjector::apply_rate(double rate_mbps) {
+  if (!targets_.link) {
+    ++skipped_actions_;
+    return;
+  }
+  targets_.link->set_rate_mbps(rate_mbps);
+  record(trace::InstantKind::LinkRateChange,
+         static_cast<std::int64_t>(std::llround(rate_mbps * 1000.0)));
+}
+
+void FaultInjector::begin_storage_window(const StorageDegradation& window) {
+  if (!targets_.storage) {
+    ++skipped_actions_;
+    return;
+  }
+  ++open_storage_windows_;
+  targets_.storage->set_latency_multiplier(window.latency_multiplier);
+  targets_.storage->set_error_rate(window.error_rate,
+                                   stats::derive_seed(plan_.seed, kStorageStream));
+  record(trace::InstantKind::StorageDegraded,
+         static_cast<std::int64_t>(std::llround(window.latency_multiplier * 1000.0)));
+}
+
+void FaultInjector::end_storage_window() {
+  if (!targets_.storage || open_storage_windows_ == 0) return;
+  if (--open_storage_windows_ == 0) {
+    targets_.storage->set_latency_multiplier(1.0);
+    targets_.storage->set_error_rate(0.0, stats::derive_seed(plan_.seed, kStorageStream));
+    record(trace::InstantKind::StorageRestored, 0);
+  }
+}
+
+void FaultInjector::begin_thermal_window(const ThermalWindow& window) {
+  if (!targets_.scheduler) {
+    ++skipped_actions_;
+    return;
+  }
+  ++open_thermal_windows_;
+  targets_.scheduler->set_speed_scale(window.speed_scale);
+  record(trace::InstantKind::ThermalThrottle,
+         static_cast<std::int64_t>(std::llround(window.speed_scale * 1000.0)));
+}
+
+void FaultInjector::end_thermal_window() {
+  if (!targets_.scheduler || open_thermal_windows_ == 0) return;
+  if (--open_thermal_windows_ == 0) {
+    targets_.scheduler->set_speed_scale(1.0);
+    record(trace::InstantKind::ThermalRestored, 0);
+  }
+}
+
+void FaultInjector::fire_kill(const TargetedKill& kill) {
+  if (!targets_.memory) {
+    ++skipped_actions_;
+    return;
+  }
+  mem::ProcessId pid = kill.pid;
+  if (pid == 0 && kill_target_) pid = kill_target_();
+  if (pid == 0 || !targets_.memory->registry().alive(pid)) {
+    ++skipped_actions_;
+    return;
+  }
+  record(trace::InstantKind::FaultKill, static_cast<std::int64_t>(pid));
+  ++kills_injected_;
+  targets_.memory->kill_process(pid);
+}
+
+void FaultInjector::ge_transition() {
+  const auto& ge = plan_.gilbert_elliott;
+  if (!ge_bad_) {
+    // Good -> bad: draw the bad period's character once, deterministically.
+    ge_bad_ = true;
+    ge_outage_ = rng_.bernoulli(ge.bad_outage_probability);
+    if (ge_outage_) {
+      if (targets_.link && ++open_outages_ == 1) targets_.link->set_down(true);
+      record(trace::InstantKind::LinkDown, 0);
+    } else {
+      apply_rate(ge.bad_rate_mbps);
+    }
+    schedule_action(targets_.engine->now() + sample_sojourn(rng_, ge.mean_bad),
+                    [this] { ge_transition(); });
+  } else {
+    ge_bad_ = false;
+    if (ge_outage_) {
+      ge_outage_ = false;
+      end_outage();
+    } else {
+      apply_rate(ge.good_rate_mbps);
+    }
+    schedule_action(targets_.engine->now() + sample_sojourn(rng_, ge.mean_good),
+                    [this] { ge_transition(); });
+  }
+}
+
+}  // namespace mvqoe::fault

@@ -1,0 +1,176 @@
+// Seeded, deterministic fault injection for the simulated device.
+//
+// The paper's central claim is that QoE collapses under adverse
+// conditions the player never anticipated — reclaim storms, lmkd kills,
+// mmcqd preemption. The FaultInjector makes those conditions scriptable:
+// a FaultPlan composes scripted actions (link outages and rate steps,
+// storage latency spikes and transient I/O errors, CPU thermal-throttle
+// windows, targeted process kills) with an optional stochastic
+// Gilbert-Elliott link model, all driven off the sim Engine so that two
+// runs with the same plan and seed replay byte-identically.
+//
+// Times in a plan are relative to the base passed to arm() — an
+// experiment arms the plan at video start so "kill at t=30s" means 30
+// seconds into playback regardless of how long boot and pressure
+// induction took.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/memory_manager.hpp"
+#include "net/link.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "stats/rng.hpp"
+#include "storage/storage.hpp"
+#include "trace/tracer.hpp"
+
+namespace mvqoe::fault {
+
+/// Non-owning handles to the components faults act on. Only the engine is
+/// mandatory; actions targeting an absent component are skipped (counted
+/// in FaultInjector::skipped_actions()).
+struct FaultTargets {
+  sim::Engine* engine = nullptr;
+  net::Link* link = nullptr;
+  storage::StorageDevice* storage = nullptr;
+  sched::Scheduler* scheduler = nullptr;
+  mem::MemoryManager* memory = nullptr;
+  trace::Tracer* tracer = nullptr;
+};
+
+/// Complete link loss for `duration`; in-flight transfer progress freezes
+/// and resumes on restore (see net::Link::set_down).
+struct LinkOutage {
+  sim::Time at = 0;
+  sim::Time duration = sim::sec(1);
+};
+
+/// Step the link rate (rate fluctuation scripts).
+struct LinkRateStep {
+  sim::Time at = 0;
+  double rate_mbps = 80.0;
+};
+
+/// Storage latency spike and/or transient-error window.
+struct StorageDegradation {
+  sim::Time at = 0;
+  sim::Time duration = sim::sec(1);
+  double latency_multiplier = 4.0;
+  double error_rate = 0.0;  // per-attempt transient failure probability
+};
+
+/// SoC thermal-throttle window: every core slows to `speed_scale`.
+struct ThermalWindow {
+  sim::Time at = 0;
+  sim::Time duration = sim::sec(5);
+  double speed_scale = 0.6;
+};
+
+/// Targeted mid-run kill through the memory manager (fires the victim's
+/// on_kill path exactly like lmkd). pid 0 = resolve the victim via
+/// FaultInjector::set_kill_target at fire time — the hook sessions with a
+/// relaunch path use, since their pid changes across relaunches.
+struct TargetedKill {
+  sim::Time at = 0;
+  mem::ProcessId pid = 0;
+};
+
+/// Two-state Markov (Gilbert-Elliott style) link quality model: the link
+/// alternates exponentially-distributed good/bad sojourns; a bad period
+/// is either a rate collapse or, with `bad_outage_probability`, a full
+/// outage. Deterministic per plan seed.
+struct GilbertElliottLink {
+  bool enabled = false;
+  sim::Time mean_good = sim::sec(20);
+  sim::Time mean_bad = sim::sec(2);
+  double good_rate_mbps = 80.0;
+  double bad_rate_mbps = 1.5;
+  double bad_outage_probability = 0.25;
+};
+
+struct FaultPlan {
+  std::vector<LinkOutage> link_outages;
+  std::vector<LinkRateStep> link_rate_steps;
+  std::vector<StorageDegradation> storage_degradations;
+  std::vector<ThermalWindow> thermal_windows;
+  std::vector<TargetedKill> kills;
+  GilbertElliottLink gilbert_elliott;
+  std::uint64_t seed = 1;
+
+  bool empty() const noexcept {
+    return link_outages.empty() && link_rate_steps.empty() && storage_degradations.empty() &&
+           thermal_windows.empty() && kills.empty() && !gilbert_elliott.enabled;
+  }
+};
+
+/// One applied fault, for post-run assertions and reporting.
+struct FaultRecord {
+  trace::InstantKind kind{};
+  sim::Time at = 0;
+  std::int64_t value = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultTargets targets, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every plan action at `base + action.at` and start the
+  /// stochastic link model (if enabled). Call at most once per injector.
+  void arm(sim::Time base);
+  /// Cancel everything still pending and restore nominal conditions for
+  /// any window currently open (link up, storage nominal, full speed).
+  void disarm();
+
+  /// Resolver for TargetedKill entries with pid 0 (e.g. "the video
+  /// client, whatever its pid is right now"). Returning 0 skips the kill.
+  void set_kill_target(std::function<mem::ProcessId()> resolver);
+
+  bool armed() const noexcept { return armed_; }
+  const std::vector<FaultRecord>& log() const noexcept { return log_; }
+  std::uint64_t kills_injected() const noexcept { return kills_injected_; }
+  std::uint64_t skipped_actions() const noexcept { return skipped_actions_; }
+  /// Nesting depth of currently-open windows per kind (outage windows may
+  /// overlap; nominal conditions are restored when the last one closes).
+  int open_outages() const noexcept { return open_outages_; }
+  int open_storage_windows() const noexcept { return open_storage_windows_; }
+  int open_thermal_windows() const noexcept { return open_thermal_windows_; }
+
+ private:
+  void schedule_action(sim::Time when, sim::Engine::Callback fn);
+  void record(trace::InstantKind kind, std::int64_t value);
+
+  void begin_outage(const LinkOutage& outage);
+  void end_outage();
+  void apply_rate(double rate_mbps);
+  void begin_storage_window(const StorageDegradation& window);
+  void end_storage_window();
+  void begin_thermal_window(const ThermalWindow& window);
+  void end_thermal_window();
+  void fire_kill(const TargetedKill& kill);
+  void ge_transition();
+
+  FaultTargets targets_;
+  FaultPlan plan_;
+  stats::Rng rng_;
+  std::function<mem::ProcessId()> kill_target_;
+  std::vector<sim::EventId> pending_;
+  std::vector<FaultRecord> log_;
+  bool armed_ = false;
+  bool ge_bad_ = false;
+  bool ge_outage_ = false;
+  int open_outages_ = 0;
+  int open_storage_windows_ = 0;
+  int open_thermal_windows_ = 0;
+  std::uint64_t kills_injected_ = 0;
+  std::uint64_t skipped_actions_ = 0;
+  double nominal_rate_mbps_ = 0.0;
+};
+
+}  // namespace mvqoe::fault

@@ -1,0 +1,55 @@
+#include "fault/watchdog.hpp"
+
+namespace mvqoe::fault {
+
+InvariantWatchdog::InvariantWatchdog(sim::Engine& engine, WatchdogConfig config,
+                                     mem::MemoryManager* memory, trace::Tracer* tracer)
+    : engine_(engine),
+      config_(config),
+      memory_(memory),
+      tracer_(tracer),
+      task_(engine, config.period, [this] { check_now(); }) {}
+
+void InvariantWatchdog::start() {
+  if (config_.livelock_limit > 0) engine_.set_livelock_limit(config_.livelock_limit);
+  seen_livelock_trips_ = engine_.livelock_trips();
+  task_.start();
+}
+
+void InvariantWatchdog::stop() { task_.stop(); }
+
+void InvariantWatchdog::report(const std::string& what) {
+  violations_.push_back(WatchdogViolation{engine_.now(), what});
+  if (tracer_) {
+    tracer_->instant(trace::InstantKind::WatchdogViolation, engine_.now(), trace::kNoThread,
+                     static_cast<std::int64_t>(violations_.size()));
+  }
+}
+
+bool InvariantWatchdog::check_now() {
+  ++ticks_;
+  const std::size_t before = violations_.size();
+
+  if (!engine_.check_invariants()) {
+    report("engine event-queue bookkeeping violated (heap/callback/cancel mismatch)");
+  }
+  const std::uint64_t trips = engine_.livelock_trips();
+  if (trips > seen_livelock_trips_) {
+    report("engine livelock: " + std::to_string(trips - seen_livelock_trips_) +
+           " run(s) of >" + std::to_string(config_.livelock_limit) +
+           " events without the clock advancing");
+    seen_livelock_trips_ = trips;
+  }
+  if (config_.max_pending_events > 0 && engine_.pending_events() > config_.max_pending_events) {
+    report("pending-event leak: " + std::to_string(engine_.pending_events()) +
+           " events queued (limit " + std::to_string(config_.max_pending_events) + ")");
+  }
+  if (memory_) {
+    const auto conservation = memory_->check_conservation();
+    if (!conservation.ok) report("page accounting: " + conservation.detail);
+  }
+
+  return violations_.size() == before;
+}
+
+}  // namespace mvqoe::fault

@@ -1,0 +1,72 @@
+// Simulation invariant watchdog (debug/test builds).
+//
+// Fault injection stresses exactly the paths where bookkeeping bugs hide:
+// cancel-vs-fire races in the event queue, page accounting across kills,
+// zero-delay reschedule loops under outage. The watchdog samples the sim
+// periodically and records violations of invariants that should hold in
+// any run — it detects and reports, it never mutates, so a violating run
+// still completes and the test harness can print what went wrong.
+//
+// Checks per tick:
+//   * Engine lazy-cancel bookkeeping (Engine::check_invariants).
+//   * Livelock tripwire delta (Engine::livelock_trips, armed with
+//     `livelock_limit` at start()).
+//   * Pending-event leak: the queue exceeding `max_pending_events`.
+//   * Page-accounting conservation (MemoryManager::check_conservation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory_manager.hpp"
+#include "sim/engine.hpp"
+#include "trace/tracer.hpp"
+
+namespace mvqoe::fault {
+
+struct WatchdogConfig {
+  sim::Time period = sim::msec(250);
+  /// Consecutive same-timestamp events tolerated before the engine's
+  /// livelock tripwire counts a trip (0 = don't arm the tripwire).
+  std::uint64_t livelock_limit = 100000;
+  /// Pending-event count treated as a leak (0 = don't check).
+  std::size_t max_pending_events = 1u << 20;
+};
+
+struct WatchdogViolation {
+  sim::Time at = 0;
+  std::string what;
+};
+
+class InvariantWatchdog {
+ public:
+  /// `memory` and `tracer` may be null (their checks/trace are skipped).
+  InvariantWatchdog(sim::Engine& engine, WatchdogConfig config,
+                    mem::MemoryManager* memory = nullptr, trace::Tracer* tracer = nullptr);
+
+  void start();
+  void stop();
+
+  /// Run every check once, immediately. Returns true when all pass.
+  bool check_now();
+
+  bool running() const noexcept { return task_.running(); }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+  const std::vector<WatchdogViolation>& violations() const noexcept { return violations_; }
+  bool ok() const noexcept { return violations_.empty(); }
+
+ private:
+  void report(const std::string& what);
+
+  sim::Engine& engine_;
+  WatchdogConfig config_;
+  mem::MemoryManager* memory_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
+  sim::PeriodicTask task_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t seen_livelock_trips_ = 0;
+  std::vector<WatchdogViolation> violations_;
+};
+
+}  // namespace mvqoe::fault

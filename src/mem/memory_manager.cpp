@@ -819,4 +819,47 @@ void MemoryManager::subscribe_trim(TrimListener listener) {
   trim_listeners_.push_back(std::move(listener));
 }
 
+MemoryManager::ConservationReport MemoryManager::check_conservation() const {
+  ConservationReport report;
+  auto fail = [&report](std::string detail) {
+    report.ok = false;
+    if (report.detail.empty()) report.detail = std::move(detail);
+  };
+  Pages anon = 0;
+  Pages swapped = 0;
+  Pages file = 0;
+  for (const ProcessMem* process : registry_.all()) {
+    if (process->anon_resident < 0 || process->anon_swapped < 0 ||
+        process->file_resident < 0 || process->file_working_set < 0) {
+      fail("negative per-process page count (pid " + std::to_string(process->pid) + ")");
+    }
+    anon += process->anon_resident;
+    swapped += process->anon_swapped;
+    file += process->file_resident;
+  }
+  if (anon != anon_pool_) {
+    fail("anon pool " + std::to_string(anon_pool_) + " != registry sum " + std::to_string(anon));
+  }
+  if (swapped != zram_stored_) {
+    fail("zram stored " + std::to_string(zram_stored_) + " != registry sum " +
+         std::to_string(swapped));
+  }
+  if (file != file_clean_) {
+    fail("clean file pool " + std::to_string(file_clean_) + " != registry sum " +
+         std::to_string(file));
+  }
+  if (file_dirty_ < 0 || dirty_in_flight_ < 0 || dirty_in_flight_ > file_dirty_) {
+    fail("dirty writeback accounting (dirty " + std::to_string(file_dirty_) + ", in flight " +
+         std::to_string(dirty_in_flight_) + ")");
+  }
+  if (zram_stored_ > config_.zram_capacity) fail("zram over capacity");
+  const Pages used = config_.kernel_reserved + anon_pool_ + file_clean_ + file_dirty_ +
+                     static_cast<Pages>(std::ceil(static_cast<double>(zram_stored_) /
+                                                  config_.zram_compression));
+  if (used > config_.total) {
+    fail("pools exceed physical memory by " + std::to_string(used - config_.total) + " pages");
+  }
+  return report;
+}
+
 }  // namespace mvqoe::mem

@@ -38,6 +38,7 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "mem/process_registry.hpp"
@@ -125,6 +126,16 @@ class MemoryManager {
   /// Subscribe to trim-signal deliveries (every transition into a
   /// non-Normal level). Listeners must outlive the manager or the run.
   void subscribe_trim(TrimListener listener);
+
+  /// Page-accounting conservation audit (invariant watchdog hook): the
+  /// per-process registry totals must equal the global pools, every pool
+  /// must be non-negative, and in-flight writeback bounded by the dirty
+  /// pool. `detail` names the first violated invariant.
+  struct ConservationReport {
+    bool ok = true;
+    std::string detail;
+  };
+  ConservationReport check_conservation() const;
 
  private:
   struct ReclaimOutcome {

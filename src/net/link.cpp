@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -7,31 +8,152 @@ namespace mvqoe::net {
 
 Link::Link(sim::Engine& engine, LinkConfig config) : engine_(engine), config_(config) {}
 
+double Link::bytes_per_usec() const noexcept { return config_.rate_mbps / 8.0; }
+
 sim::Time Link::idle_transfer_time(std::uint64_t bytes) const noexcept {
   const double micros = static_cast<double>(bytes) * 8.0 / (config_.rate_mbps * 1e6) * 1e6;
   return config_.propagation + config_.per_transfer_overhead +
          static_cast<sim::Time>(std::ceil(micros));
 }
 
-void Link::transfer(std::uint64_t bytes, std::function<void()> on_complete) {
-  queue_.push_back(Pending{bytes, std::move(on_complete)});
-  if (!busy_) pump();
+TransferId Link::transfer(std::uint64_t bytes, CompletionFn on_complete) {
+  const TransferId id = next_id_++;
+  queue_.push_back(Pending{id, bytes, std::move(on_complete)});
+  pump();
+  return id;
+}
+
+bool Link::cancel(TransferId id) {
+  if (id == kInvalidTransfer) return false;
+  if (active_.id == id) {
+    if (active_.completion != sim::kInvalidEvent) engine_.cancel(active_.completion);
+    if (active_.timeout != sim::kInvalidEvent) engine_.cancel(active_.timeout);
+    active_ = Active{};
+    ++counters_.cancelled;
+    pump();
+    return true;
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      queue_.erase(it);
+      ++counters_.cancelled;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Link::set_rate_mbps(double rate_mbps) {
+  if (active_.id != kInvalidTransfer && !down_) {
+    // Fold progress made at the old rate, then reschedule the completion
+    // from the bytes still outstanding at the new rate — a mid-transfer
+    // rate drop (or outage recovery at a different rate) must stretch the
+    // in-flight transfer, not be silently ignored.
+    repace_active();
+  }
+  config_.rate_mbps = rate_mbps;
+  if (active_.id != kInvalidTransfer && !down_) repace_active();
+}
+
+void Link::set_down(bool down) {
+  if (down == down_) return;
+  if (down) {
+    ++counters_.outages;
+    if (active_.id != kInvalidTransfer) {
+      repace_active();  // freeze remaining bytes as of now
+      if (active_.completion != sim::kInvalidEvent) {
+        engine_.cancel(active_.completion);
+        active_.completion = sim::kInvalidEvent;
+      }
+      suspend_timeout();
+    }
+    down_ = true;
+  } else {
+    down_ = false;
+    if (active_.id != kInvalidTransfer) {
+      active_.paced_at = engine_.now();  // outage time transferred no bytes
+      arm_timeout();
+      repace_active();
+    }
+    pump();
+  }
+}
+
+void Link::repace_active() {
+  // Fold wall time since the last pacing point into setup, then payload.
+  sim::Time elapsed = engine_.now() - active_.paced_at;
+  const sim::Time setup_used = std::min(elapsed, active_.setup_remaining);
+  active_.setup_remaining -= setup_used;
+  elapsed -= setup_used;
+  if (elapsed > 0 && bytes_per_usec() > 0.0) {
+    active_.remaining_bytes =
+        std::max(0.0, active_.remaining_bytes - static_cast<double>(elapsed) * bytes_per_usec());
+  }
+  active_.paced_at = engine_.now();
+
+  if (active_.completion != sim::kInvalidEvent) {
+    engine_.cancel(active_.completion);
+    active_.completion = sim::kInvalidEvent;
+  }
+  if (down_ || config_.rate_mbps <= 0.0) return;  // frozen until restored
+  const sim::Time payload = static_cast<sim::Time>(
+      std::ceil(active_.remaining_bytes / bytes_per_usec()));
+  const sim::Time duration = std::max<sim::Time>(1, active_.setup_remaining + payload);
+  active_.completion = engine_.schedule(duration, [this] {
+    active_.completion = sim::kInvalidEvent;
+    active_.remaining_bytes = 0.0;
+    active_.setup_remaining = 0;
+    finish_active(true);
+  });
+}
+
+void Link::finish_active(bool ok) {
+  if (active_.completion != sim::kInvalidEvent) engine_.cancel(active_.completion);
+  if (active_.timeout != sim::kInvalidEvent) engine_.cancel(active_.timeout);
+  if (ok) {
+    bytes_delivered_ += active_.total_bytes;
+    ++counters_.completed;
+  } else {
+    ++counters_.timed_out;
+  }
+  CompletionFn on_complete = std::move(active_.on_complete);
+  active_ = Active{};
+  if (on_complete) on_complete(ok);
+  pump();
+}
+
+void Link::arm_timeout() {
+  if (active_.timeout_remaining <= 0 || active_.timeout != sim::kInvalidEvent) return;
+  active_.timeout_armed_at = engine_.now();
+  active_.timeout = engine_.schedule(active_.timeout_remaining, [this] {
+    active_.timeout = sim::kInvalidEvent;
+    finish_active(false);
+  });
+}
+
+void Link::suspend_timeout() {
+  if (active_.timeout == sim::kInvalidEvent) return;
+  engine_.cancel(active_.timeout);
+  active_.timeout = sim::kInvalidEvent;
+  active_.timeout_remaining = std::max<sim::Time>(
+      1, active_.timeout_remaining - (engine_.now() - active_.timeout_armed_at));
 }
 
 void Link::pump() {
-  if (queue_.empty()) {
-    busy_ = false;
-    return;
-  }
-  busy_ = true;
+  if (active_.id != kInvalidTransfer || queue_.empty()) return;
   Pending next = std::move(queue_.front());
   queue_.pop_front();
-  engine_.schedule(idle_transfer_time(next.bytes),
-                   [this, next = std::move(next)]() mutable {
-                     bytes_delivered_ += next.bytes;
-                     if (next.on_complete) next.on_complete();
-                     pump();
-                   });
+  active_.id = next.id;
+  active_.total_bytes = next.bytes;
+  active_.remaining_bytes = static_cast<double>(next.bytes);
+  active_.setup_remaining = config_.propagation + config_.per_transfer_overhead;
+  active_.paced_at = engine_.now();
+  active_.on_complete = std::move(next.on_complete);
+  active_.timeout_remaining = config_.transfer_timeout;
+  if (!down_) {
+    arm_timeout();
+    if (config_.rate_mbps > 0.0) repace_active();
+  }
 }
 
 }  // namespace mvqoe::net

@@ -4,6 +4,13 @@
 // "the playback buffer filled up quickly and then remained at maximum
 // capacity"), but implemented rather than assumed so the download path
 // exists and can be throttled in ablations.
+//
+// Fault-injection support: transfers are cancellable, the in-flight
+// transfer is re-paced from its remaining bytes whenever the rate
+// changes, the link can go down entirely (payload progress freezes and
+// resumes on restore), and a per-transfer timeout fails transfers that
+// sit on the wire too long — the hooks the FaultInjector and the video
+// session's retry path are built on.
 #pragma once
 
 #include <cstdint>
@@ -14,46 +21,108 @@
 
 namespace mvqoe::net {
 
+/// Handle to a queued or in-flight transfer; kInvalidTransfer is false-y.
+using TransferId = std::uint64_t;
+constexpr TransferId kInvalidTransfer = 0;
+
 struct LinkConfig {
   double rate_mbps = 80.0;          // WiFi LAN application throughput
   sim::Time propagation = sim::msec(2);
   /// Fixed per-transfer overhead (HTTP request/response, TCP ramp).
   sim::Time per_transfer_overhead = sim::msec(6);
+  /// Fail a transfer that has been active longer than this (0 = never).
+  /// Time spent queued behind other transfers or frozen by an outage does
+  /// not count.
+  sim::Time transfer_timeout = 0;
+};
+
+struct LinkCounters {
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t outages = 0;  // down() transitions
 };
 
 /// One-direction link delivering transfers FIFO at the configured rate.
 class Link {
  public:
+  /// Completion callback: ok=true when the last byte arrived, ok=false
+  /// when the transfer timed out. Cancelled transfers never call back.
+  using CompletionFn = std::function<void(bool ok)>;
+
   Link(sim::Engine& engine, LinkConfig config);
 
-  /// Deliver `bytes` to the receiver; `on_complete` fires when the last
-  /// byte arrives. Transfers share the link serially (HTTP/1.1-style
-  /// sequential segment fetches, as dash.js performs them).
-  void transfer(std::uint64_t bytes, std::function<void()> on_complete);
+  /// Deliver `bytes` to the receiver. Transfers share the link serially
+  /// (HTTP/1.1-style sequential segment fetches, as dash.js performs
+  /// them). Returns a handle usable with cancel().
+  TransferId transfer(std::uint64_t bytes, CompletionFn on_complete);
+
+  /// Abort a queued or in-flight transfer; its callback never fires.
+  /// Returns true if the transfer was still pending. Partial bytes of an
+  /// aborted in-flight transfer are discarded, and the next queued
+  /// transfer starts immediately.
+  bool cancel(TransferId id);
 
   /// Wall time a transfer of `bytes` takes on an idle link.
   sim::Time idle_transfer_time(std::uint64_t bytes) const noexcept;
 
   std::size_t queued() const noexcept { return queue_.size(); }
-  bool busy() const noexcept { return busy_; }
+  bool busy() const noexcept { return active_.id != kInvalidTransfer; }
   std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
   const LinkConfig& config() const noexcept { return config_; }
+  const LinkCounters& counters() const noexcept { return counters_; }
+  bool down() const noexcept { return down_; }
 
-  /// Change the link rate mid-run (network-variability ablations).
-  void set_rate_mbps(double rate_mbps) noexcept { config_.rate_mbps = rate_mbps; }
+  /// Change the link rate mid-run (network-variability ablations and the
+  /// fault injector's Gilbert-Elliott model). The in-flight transfer is
+  /// re-paced: its completion is rescheduled from the bytes still
+  /// outstanding at the new rate.
+  void set_rate_mbps(double rate_mbps);
+
+  /// Take the link down (outage) or bring it back up. While down, the
+  /// in-flight transfer freezes (remaining bytes preserved) and queued
+  /// transfers wait; on restore the transfer resumes where it stopped.
+  void set_down(bool down);
 
  private:
   struct Pending {
+    TransferId id = kInvalidTransfer;
     std::uint64_t bytes = 0;
-    std::function<void()> on_complete;
+    CompletionFn on_complete;
   };
+  struct Active {
+    TransferId id = kInvalidTransfer;
+    std::uint64_t total_bytes = 0;
+    double remaining_bytes = 0.0;   // payload not yet on the wire
+    sim::Time setup_remaining = 0;  // propagation + overhead not yet paid
+    sim::Time paced_at = 0;         // when remaining_* were last computed
+    CompletionFn on_complete;
+    sim::EventId completion = sim::kInvalidEvent;
+    sim::EventId timeout = sim::kInvalidEvent;
+    sim::Time timeout_remaining = 0;  // active-time budget left
+    sim::Time timeout_armed_at = 0;
+  };
+
   void pump();
+  /// The timeout budget only burns while the link is up: an outage
+  /// freezes it along with the payload.
+  void arm_timeout();
+  void suspend_timeout();
+  /// Fold elapsed wall time into the active transfer's remaining setup /
+  /// payload, then (unless down) schedule its completion at the current
+  /// rate. The single source of truth for in-flight pacing.
+  void repace_active();
+  void finish_active(bool ok);
+  double bytes_per_usec() const noexcept;
 
   sim::Engine& engine_;
   LinkConfig config_;
   std::deque<Pending> queue_;
-  bool busy_ = false;
+  Active active_;
+  bool down_ = false;
   std::uint64_t bytes_delivered_ = 0;
+  TransferId next_id_ = 1;
+  LinkCounters counters_;
 };
 
 }  // namespace mvqoe::net

@@ -31,6 +31,24 @@ double RunAggregate::crash_rate_percent() const noexcept {
   return 100.0 * static_cast<double>(crashed) / static_cast<double>(outcomes_.size());
 }
 
+double RunAggregate::relaunch_rate_percent() const noexcept {
+  if (outcomes_.empty()) return 0.0;
+  std::size_t relaunched = 0;
+  for (const RunOutcome& outcome : outcomes_) {
+    if (outcome.relaunches > 0) ++relaunched;
+  }
+  return 100.0 * static_cast<double>(relaunched) / static_cast<double>(outcomes_.size());
+}
+
+stats::MeanCi RunAggregate::rebuffer_events() const {
+  std::vector<double> values;
+  values.reserve(outcomes_.size());
+  for (const RunOutcome& outcome : outcomes_) {
+    values.push_back(static_cast<double>(outcome.rebuffer_events));
+  }
+  return stats::mean_ci(values);
+}
+
 stats::MeanCi RunAggregate::mean_pss_mb() const {
   std::vector<double> values;
   for (const RunOutcome& outcome : outcomes_) values.push_back(outcome.mean_pss_mb);

@@ -16,9 +16,16 @@ struct RunOutcome {
   double drop_rate = 0.0;   // dropped / (dropped + presented), crashed runs
                             // counting the lost remainder as dropped
   bool crashed = false;
+  /// Session ended early on an unrecoverable download failure.
+  bool aborted = false;
   double mean_pss_mb = 0.0;
   double peak_pss_mb = 0.0;
   double startup_delay_s = 0.0;
+  /// Recovery accounting: kills absorbed by a cold relaunch instead of a
+  /// terminal crash, stalls, and the wall time lost to relaunching.
+  int relaunches = 0;
+  int rebuffer_events = 0;
+  double relaunch_downtime_s = 0.0;
 };
 
 class RunAggregate {
@@ -33,6 +40,11 @@ class RunAggregate {
   stats::MeanCi drop_rate_completed() const;
   /// Fraction of runs that crashed, in percent (Tables 2/3).
   double crash_rate_percent() const noexcept;
+  /// Fraction of runs that relaunched at least once, in percent — the
+  /// robustness counterpart of crash rate: kills the recovery path turned
+  /// into rebuffers instead of terminal failures.
+  double relaunch_rate_percent() const noexcept;
+  stats::MeanCi rebuffer_events() const;
   stats::MeanCi mean_pss_mb() const;
   stats::MeanCi peak_pss_mb() const;
   double min_peak_pss_mb() const;

@@ -70,6 +70,35 @@ std::optional<std::size_t> Scheduler::running_core(ThreadId tid) const {
 
 void Scheduler::set_affinity(ThreadId tid, AffinityMask mask) { thread(tid).spec.affinity = mask; }
 
+void Scheduler::set_speed_scale(double scale) {
+  scale = std::max(scale, 0.01);
+  if (scale == speed_scale_) return;
+  // Checkpoint every running burst at the old speed: charge the work
+  // consumed so far (CPU accounting + fair vruntime), restart the stint
+  // at now with the remaining work, then re-arm completion/slice events
+  // at the new speed. Restarting the stint also restarts its timeslice —
+  // an acceptable deviation for the rare throttle transitions.
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    Core& core = cores_[i];
+    if (core.running == trace::kNoThread) continue;
+    Thread& t = thread(core.running);
+    const sim::Time ran = engine_.now() - core.run_start;
+    const double consumed =
+        std::min(core.run_start_work, static_cast<double>(ran) * effective_freq(core));
+    t.counters.cpu_refus_consumed += consumed;
+    if (t.spec.sched_class == SchedClass::Fair && t.weight > 0.0) {
+      t.vruntime += consumed / t.weight;
+    }
+    core.run_start_work -= consumed;
+    core.run_start = engine_.now();
+    t.remaining_work = core.run_start_work;
+  }
+  speed_scale_ = scale;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].running != trace::kNoThread) arm_core_event(i);
+  }
+}
+
 bool Scheduler::can_run_on(const Thread& t, std::size_t core) const {
   return t.spec.affinity == 0 || (t.spec.affinity & (AffinityMask{1} << core)) != 0;
 }
@@ -223,7 +252,7 @@ void Scheduler::arm_core_event(std::size_t core_idx) {
   if (core.running == trace::kNoThread) return;
 
   const Thread& t = thread(core.running);
-  const double freq = core.config.freq_ghz;
+  const double freq = effective_freq(core);
   const sim::Time ran = engine_.now() - core.run_start;
   const double consumed = static_cast<double>(ran) * freq;
   const double remaining = std::max(core.run_start_work - consumed, 0.0);
@@ -312,7 +341,7 @@ void Scheduler::deschedule(std::size_t core_idx, trace::ThreadState next_state,
   }
   const sim::Time ran = engine_.now() - core.run_start;
   const double consumed =
-      std::min(core.run_start_work, static_cast<double>(ran) * core.config.freq_ghz);
+      std::min(core.run_start_work, static_cast<double>(ran) * effective_freq(core));
   t.remaining_work = core.run_start_work - consumed;
   t.counters.cpu_refus_consumed += consumed;
   if (t.spec.sched_class == SchedClass::Fair && t.weight > 0.0) t.vruntime += consumed / t.weight;

@@ -127,6 +127,13 @@ class Scheduler {
   /// next scheduling decision for that thread.
   void set_affinity(ThreadId tid, AffinityMask mask);
 
+  /// Uniformly scale every core's effective frequency (thermal throttling:
+  /// scale < 1 slows the whole SoC). In-flight bursts are re-paced: work
+  /// consumed so far is charged at the old speed and the remainder
+  /// rescheduled at the new one.
+  void set_speed_scale(double scale);
+  double speed_scale() const noexcept { return speed_scale_; }
+
  private:
   struct Thread {
     ThreadSpec spec;
@@ -185,10 +192,14 @@ class Scheduler {
   void open_preemption(ThreadId victim, ThreadId preemptor);
   void note_started_running(ThreadId tid);
   void note_stopped_running(ThreadId tid, sim::Time ran_for);
+  double effective_freq(const Core& core) const noexcept {
+    return core.config.freq_ghz * speed_scale_;
+  }
 
   sim::Engine& engine_;
   trace::Tracer& tracer_;
   SchedulerConfig config_;
+  double speed_scale_ = 1.0;
   std::vector<Core> cores_;
   std::vector<Thread> threads_;  // index = tid - 1
   std::vector<PendingPreemption> pending_records_;

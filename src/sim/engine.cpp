@@ -40,10 +40,26 @@ bool Engine::step() {
     Callback fn = std::move(it->second);
     callbacks_.erase(it);
     now_ = top.time;
+    ++dispatched_;
+    if (top.time == last_dispatch_time_) {
+      ++same_time_run_;
+      if (livelock_limit_ != 0 && same_time_run_ == livelock_limit_ + 1) ++livelock_trips_;
+    } else {
+      last_dispatch_time_ = top.time;
+      same_time_run_ = 1;
+    }
     fn();
     return true;
   }
   return false;
+}
+
+bool Engine::check_invariants() const noexcept {
+  if (heap_.size() != callbacks_.size() + cancelled_.size()) return false;
+  for (const EventId id : cancelled_) {
+    if (callbacks_.count(id) != 0) return false;
+  }
+  return true;
 }
 
 void Engine::run_until(Time t) {

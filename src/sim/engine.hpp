@@ -50,6 +50,22 @@ class Engine {
 
   std::size_t pending_events() const noexcept { return heap_.size() - cancelled_.size(); }
 
+  /// Total events dispatched since construction (cancelled entries do not
+  /// count). Watchdogs use this to detect livelock-free progress.
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+  /// Livelock tripwire: a run of more than `limit` consecutive events at a
+  /// single timestamp (a zero-delay reschedule loop never advancing the
+  /// clock) increments livelock_trips(). 0 disables the check. Detection
+  /// only — the engine keeps running so callers can observe and bail.
+  void set_livelock_limit(std::uint64_t limit) noexcept { livelock_limit_ = limit; }
+  std::uint64_t livelock_trips() const noexcept { return livelock_trips_; }
+
+  /// Lazy-cancel bookkeeping audit: every cancelled id must still have a
+  /// heap entry and no callback, so heap size == callbacks + cancelled and
+  /// the two id sets are disjoint. Cheap enough for test/watchdog use.
+  bool check_invariants() const noexcept;
+
  private:
   struct Entry {
     Time time;
@@ -64,6 +80,11 @@ class Engine {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t livelock_limit_ = 0;
+  std::uint64_t livelock_trips_ = 0;
+  std::uint64_t same_time_run_ = 0;
+  Time last_dispatch_time_ = -1;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::unordered_set<EventId> cancelled_;

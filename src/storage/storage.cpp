@@ -1,5 +1,6 @@
 #include "storage/storage.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -20,7 +21,17 @@ StorageDevice::StorageDevice(sim::Engine& engine, sched::Scheduler& scheduler,
 sim::Time StorageDevice::transfer_time(bool write, std::uint64_t bytes) const noexcept {
   const double mbps = write ? config_.write_bandwidth_mbps : config_.read_bandwidth_mbps;
   const double micros = static_cast<double>(bytes) / (mbps * 1e6) * 1e6;
-  return config_.request_latency + static_cast<sim::Time>(std::ceil(micros));
+  const sim::Time nominal = config_.request_latency + static_cast<sim::Time>(std::ceil(micros));
+  return static_cast<sim::Time>(std::ceil(static_cast<double>(nominal) * latency_multiplier_));
+}
+
+void StorageDevice::set_latency_multiplier(double multiplier) noexcept {
+  latency_multiplier_ = std::max(multiplier, 0.01);
+}
+
+void StorageDevice::set_error_rate(double rate, std::uint64_t seed) noexcept {
+  error_rate_ = std::clamp(rate, 0.0, 1.0);
+  fault_rng_ = stats::Rng(seed);
 }
 
 void StorageDevice::submit(IoRequest request) {
@@ -46,18 +57,34 @@ void StorageDevice::pump() {
       ++counters_.reads;
       counters_.read_bytes += request.bytes;
     }
-    // Device transfer: mmcqd blocks while the eMMC moves the data.
-    scheduler_.mark_blocked_io(mmcqd_);
-    const sim::Time transfer = transfer_time(request.write, request.bytes);
-    engine_.schedule(transfer, [this, request = std::move(request)]() mutable {
-      // Completion phase: another CPU burst (another preemption), then the
-      // requester's callback and the next queued request.
-      scheduler_.run_work(mmcqd_, config_.completion_cpu_refus,
-                          [this, on_complete = std::move(request.on_complete)] {
-                            if (on_complete) on_complete();
-                            pump();
-                          });
-    });
+    device_transfer(std::move(request), /*attempt=*/1);
+  });
+}
+
+void StorageDevice::device_transfer(IoRequest request, int attempt) {
+  // Device transfer: mmcqd blocks while the eMMC moves the data.
+  scheduler_.mark_blocked_io(mmcqd_);
+  const sim::Time transfer = transfer_time(request.write, request.bytes);
+  engine_.schedule(transfer, [this, request = std::move(request), attempt]() mutable {
+    // Injected transient failure: the device retries after a back-off;
+    // the final attempt always succeeds so requesters never wedge.
+    if (error_rate_ > 0.0 && attempt <= config_.max_error_retries &&
+        fault_rng_.bernoulli(error_rate_)) {
+      ++counters_.io_errors;
+      ++counters_.io_retries;
+      engine_.schedule(config_.error_retry_delay,
+                       [this, request = std::move(request), attempt]() mutable {
+                         device_transfer(std::move(request), attempt + 1);
+                       });
+      return;
+    }
+    // Completion phase: another CPU burst (another preemption), then the
+    // requester's callback and the next queued request.
+    scheduler_.run_work(mmcqd_, config_.completion_cpu_refus,
+                        [this, on_complete = std::move(request.on_complete)] {
+                          if (on_complete) on_complete();
+                          pump();
+                        });
   });
 }
 

@@ -20,6 +20,7 @@
 
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "stats/rng.hpp"
 
 namespace mvqoe::storage {
 
@@ -33,6 +34,12 @@ struct StorageConfig {
   double dispatch_cpu_refus = 60.0;
   double completion_cpu_refus = 40.0;
   int rt_priority = 50;  // mmcqd's realtime priority
+  /// Device-side back-off before retrying a transiently-failed request.
+  sim::Time error_retry_delay = sim::msec(5);
+  /// Attempts per request while transient errors are injected; the final
+  /// attempt always succeeds so a fault window degrades throughput and
+  /// latency without wedging writeback or refault paths.
+  int max_error_retries = 4;
 };
 
 struct IoRequest {
@@ -48,6 +55,8 @@ struct StorageCounters {
   std::uint64_t writes = 0;
   std::uint64_t read_bytes = 0;
   std::uint64_t written_bytes = 0;
+  std::uint64_t io_errors = 0;   // injected transient failures
+  std::uint64_t io_retries = 0;  // device-side retries they caused
 };
 
 class StorageDevice {
@@ -66,11 +75,23 @@ class StorageDevice {
   const StorageCounters& counters() const noexcept { return counters_; }
 
   /// Wall time the device itself (not mmcqd's CPU work) needs for a
-  /// request of `bytes`.
+  /// request of `bytes`, including any injected latency degradation.
   sim::Time transfer_time(bool write, std::uint64_t bytes) const noexcept;
+
+  // --- Fault injection (FaultInjector hooks) -----------------------------
+  /// Stretch every device transfer by `multiplier` (>= 1.0 is a latency
+  /// spike window; 1.0 restores nominal speed).
+  void set_latency_multiplier(double multiplier) noexcept;
+  double latency_multiplier() const noexcept { return latency_multiplier_; }
+  /// Inject transient request failures with probability `rate` per
+  /// attempt, drawn from a deterministic seeded stream. A failed attempt
+  /// costs error_retry_delay and is retried (see max_error_retries).
+  void set_error_rate(double rate, std::uint64_t seed) noexcept;
+  double error_rate() const noexcept { return error_rate_; }
 
  private:
   void pump();
+  void device_transfer(IoRequest request, int attempt);
 
   sim::Engine& engine_;
   sched::Scheduler& scheduler_;
@@ -79,6 +100,9 @@ class StorageDevice {
   std::deque<IoRequest> queue_;
   bool active_ = false;  // mmcqd currently working a request
   StorageCounters counters_;
+  double latency_multiplier_ = 1.0;
+  double error_rate_ = 0.0;
+  stats::Rng fault_rng_{0x570Fu};
 };
 
 }  // namespace mvqoe::storage

@@ -15,6 +15,33 @@ const char* to_string(ThreadState s) noexcept {
   return "?";
 }
 
+const char* to_string(InstantKind kind) noexcept {
+  switch (kind) {
+    case InstantKind::ProcessKilled: return "ProcessKilled";
+    case InstantKind::ClientCrashed: return "ClientCrashed";
+    case InstantKind::PressureState: return "PressureState";
+    case InstantKind::TrimSignal: return "TrimSignal";
+    case InstantKind::FramePresented: return "FramePresented";
+    case InstantKind::FrameDropped: return "FrameDropped";
+    case InstantKind::DirectReclaim: return "DirectReclaim";
+    case InstantKind::SegmentDownloaded: return "SegmentDownloaded";
+    case InstantKind::RungSwitch: return "RungSwitch";
+    case InstantKind::LinkDown: return "LinkDown";
+    case InstantKind::LinkUp: return "LinkUp";
+    case InstantKind::LinkRateChange: return "LinkRateChange";
+    case InstantKind::StorageDegraded: return "StorageDegraded";
+    case InstantKind::StorageRestored: return "StorageRestored";
+    case InstantKind::ThermalThrottle: return "ThermalThrottle";
+    case InstantKind::ThermalRestored: return "ThermalRestored";
+    case InstantKind::FaultKill: return "FaultKill";
+    case InstantKind::SegmentRetry: return "SegmentRetry";
+    case InstantKind::DownloadTimeout: return "DownloadTimeout";
+    case InstantKind::SessionRelaunch: return "SessionRelaunch";
+    case InstantKind::WatchdogViolation: return "WatchdogViolation";
+  }
+  return "?";
+}
+
 void Tracer::register_thread(const ThreadMeta& meta) { threads_[meta.tid] = meta; }
 
 const ThreadMeta* Tracer::thread(ThreadId tid) const noexcept {

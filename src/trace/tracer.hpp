@@ -76,7 +76,23 @@ enum class InstantKind : std::uint8_t {
   DirectReclaim,     // tid = thread that entered direct reclaim; value = µs stalled
   SegmentDownloaded, // value = segment index
   RungSwitch,        // value = new rung index (ABR decision)
+  // Fault-injection and recovery events (src/fault/, video session
+  // recovery): the substrate robustness scenarios assert against.
+  LinkDown,          // value = scheduled outage duration in µs (0 = stochastic)
+  LinkUp,            // link restored
+  LinkRateChange,    // value = new rate in kbps
+  StorageDegraded,   // value = latency multiplier x1000
+  StorageRestored,   // storage back to nominal
+  ThermalThrottle,   // value = speed scale x1000
+  ThermalRestored,   // SoC back to full speed
+  FaultKill,         // value = pid the injector killed
+  SegmentRetry,      // value = segment index being retried
+  DownloadTimeout,   // value = segment index whose transfer timed out
+  SessionRelaunch,   // value = relaunch ordinal (1 = first relaunch)
+  WatchdogViolation, // value = violation ordinal
 };
+
+const char* to_string(InstantKind kind) noexcept;
 
 struct InstantEvent {
   InstantKind kind{};

@@ -50,14 +50,7 @@ std::vector<trace::ThreadId> VideoSession::client_thread_ids() const {
   return {pl_tid_, mc_tid_, comp_tid_};
 }
 
-void VideoSession::start(mem::ProcessId pid, std::function<void()> on_finished) {
-  pid_ = pid;
-  on_finished_ = std::move(on_finished);
-  started_ = true;
-
-  memory_.register_process(pid_, config_.profile.process_name, mem::OomAdj::kForeground,
-                           [this] { handle_crash(); });
-
+void VideoSession::spawn_client_threads() {
   sched::ThreadSpec player;
   player.name = config_.profile.main_thread;
   player.pid = pid_;
@@ -75,6 +68,16 @@ void VideoSession::start(mem::ProcessId pid, std::function<void()> on_finished) 
   compositor.pid = pid_;
   compositor.process_name = config_.profile.process_name;
   comp_tid_ = scheduler_.create_thread(compositor);
+}
+
+void VideoSession::start(mem::ProcessId pid, std::function<void()> on_finished) {
+  pid_ = pid;
+  on_finished_ = std::move(on_finished);
+  started_ = true;
+
+  memory_.register_process(pid_, config_.profile.process_name, mem::OomAdj::kForeground,
+                           [this] { handle_crash(); });
+  spawn_client_threads();
 
   sched::ThreadSpec sf;
   sf.name = "SurfaceFlinger";
@@ -89,12 +92,13 @@ void VideoSession::start(mem::ProcessId pid, std::function<void()> on_finished) 
 }
 
 void VideoSession::launch_stage(int stage) {
-  if (!alive()) return;
+  if (!alive() || finished_) return;
+  const int epoch = epoch_;
   const int stages = std::max(1, config_.launch_stages);
   if (stage >= stages) {
     memory_.set_hot_pages(pid_, config_.profile.base_heap * 2 / 5);
-    memory_.map_file(pid_, config_.profile.code_working_set, pl_tid_, [this](bool ok) {
-      if (!ok || !alive()) return;
+    memory_.map_file(pid_, config_.profile.code_working_set, pl_tid_, [this, epoch](bool ok) {
+      if (!ok || !epoch_ok(epoch) || !alive()) return;
       pss_sampler_ = std::make_unique<sim::PeriodicTask>(engine_, sim::msec(500),
                                                          [this] { sample_pss(); });
       pss_sampler_->start();
@@ -106,19 +110,20 @@ void VideoSession::launch_stage(int stage) {
     return;
   }
   const mem::Pages slice = config_.profile.base_heap / stages;
-  memory_.alloc_anon(pid_, slice, pl_tid_, [this, stage](bool ok) {
-    if (!ok || !alive()) return;
-    scheduler_.sleep_for(pl_tid_, config_.launch_stage_pause,
-                         [this, stage] { launch_stage(stage + 1); });
+  memory_.alloc_anon(pid_, slice, pl_tid_, [this, stage, epoch](bool ok) {
+    if (!ok || !epoch_ok(epoch) || !alive()) return;
+    scheduler_.sleep_for(pl_tid_, config_.launch_stage_pause, [this, stage, epoch] {
+      if (epoch_ok(epoch)) launch_stage(stage + 1);
+    });
   });
 }
 
 // --- Download pipeline -------------------------------------------------------
 
 double VideoSession::buffered_seconds() const noexcept {
-  sim::Time playhead = 0;
+  sim::Time playhead = pts_origin_;
   if (playback_started_) {
-    playhead = std::max<sim::Time>(0, engine_.now() - metrics_.playback_start);
+    playhead = std::max(playhead, pts_origin_ + engine_.now() - playback_base_);
   }
   return std::max(0.0, sim::to_seconds(buffered_media_end_ - playhead));
 }
@@ -151,7 +156,10 @@ void VideoSession::maybe_download() {
     return;
   }
   if (buffered_seconds() >= sim::to_seconds(config_.buffer_capacity)) {
-    engine_.schedule(sim::msec(500), [this] { maybe_download(); });
+    const int epoch = epoch_;
+    engine_.schedule(sim::msec(500), [this, epoch] {
+      if (epoch_ok(epoch)) maybe_download();
+    });
     return;
   }
 
@@ -166,24 +174,85 @@ void VideoSession::maybe_download() {
                                                 8.0 * config_.asset.segment_s * size_jitter);
   const int index = next_segment_;
   ++next_segment_;
+  request_segment(index, rung, bytes, 1);
+}
+
+void VideoSession::request_segment(int index, Rung rung, std::uint64_t bytes, int attempt) {
+  const int epoch = epoch_;
   const sim::Time requested_at = engine_.now();
-  link_.transfer(bytes, [this, index, rung, bytes, requested_at] {
-    if (!alive() || finished_) return;
-    const sim::Time elapsed = std::max<sim::Time>(1, engine_.now() - requested_at);
-    const double mbps = static_cast<double>(bytes) * 8.0 / sim::to_seconds(elapsed) / 1e6;
-    throughput_estimate_mbps_ = throughput_estimate_mbps_ <= 0.0
-                                    ? mbps
-                                    : 0.7 * throughput_estimate_mbps_ + 0.3 * mbps;
-    on_segment_arrived(index, rung, mem::pages_from_bytes(static_cast<std::int64_t>(bytes)));
+  active_transfer_ =
+      link_.transfer(bytes, [this, epoch, index, rung, bytes, attempt, requested_at](bool ok) {
+        if (!epoch_ok(epoch)) return;
+        active_transfer_ = net::kInvalidTransfer;
+        if (watchdog_event_ != sim::kInvalidEvent) {
+          engine_.cancel(watchdog_event_);
+          watchdog_event_ = sim::kInvalidEvent;
+        }
+        if (!alive() || finished_) return;
+        if (!ok) {
+          // Link-level transfer timeout.
+          ++metrics_.download_timeouts;
+          tracer_.instant(trace::InstantKind::DownloadTimeout, engine_.now(), pl_tid_, index);
+          retry_segment(index, rung, bytes, attempt);
+          return;
+        }
+        const sim::Time elapsed = std::max<sim::Time>(1, engine_.now() - requested_at);
+        const double mbps = static_cast<double>(bytes) * 8.0 / sim::to_seconds(elapsed) / 1e6;
+        throughput_estimate_mbps_ = throughput_estimate_mbps_ <= 0.0
+                                        ? mbps
+                                        : 0.7 * throughput_estimate_mbps_ + 0.3 * mbps;
+        on_segment_arrived(index, rung, mem::pages_from_bytes(static_cast<std::int64_t>(bytes)));
+      });
+
+  if (config_.recovery.download_watchdog > 0) {
+    const net::TransferId xfer = active_transfer_;
+    watchdog_event_ = engine_.schedule(
+        config_.recovery.download_watchdog, [this, epoch, xfer, index, rung, bytes, attempt] {
+          if (!epoch_ok(epoch) || active_transfer_ != xfer) return;
+          watchdog_event_ = sim::kInvalidEvent;
+          link_.cancel(xfer);
+          active_transfer_ = net::kInvalidTransfer;
+          ++metrics_.download_timeouts;
+          tracer_.instant(trace::InstantKind::DownloadTimeout, engine_.now(), pl_tid_, index);
+          if (!alive() || finished_) return;
+          retry_segment(index, rung, bytes, attempt);
+        });
+  }
+}
+
+void VideoSession::retry_segment(int index, Rung rung, std::uint64_t bytes, int attempt) {
+  if (attempt > config_.recovery.max_segment_retries) {
+    // Retry budget exhausted: end the session with a structured failure
+    // instead of spinning forever against a dead link.
+    downloading_ = false;
+    metrics_.aborted = true;
+    metrics_.abort_reason =
+        "segment " + std::to_string(index) + " failed after " + std::to_string(attempt) +
+        " attempts";
+    finish();
+    return;
+  }
+  ++metrics_.segment_retries;
+  tracer_.instant(trace::InstantKind::SegmentRetry, engine_.now(), pl_tid_, index);
+  double backoff = static_cast<double>(config_.recovery.retry_backoff_initial);
+  for (int i = 1; i < attempt; ++i) backoff *= config_.recovery.retry_backoff_factor;
+  const sim::Time delay = std::min<sim::Time>(config_.recovery.retry_backoff_max,
+                                              static_cast<sim::Time>(std::llround(backoff)));
+  const int epoch = epoch_;
+  engine_.schedule(delay, [this, epoch, index, rung, bytes, attempt] {
+    if (!epoch_ok(epoch) || !alive() || finished_) return;
+    request_segment(index, rung, bytes, attempt + 1);
   });
 }
 
 void VideoSession::on_segment_arrived(int index, Rung rung, mem::Pages pages) {
+  const int epoch = epoch_;
   // Demux on the player thread, then commit the buffer memory.
-  auto demux = [this, index, rung, pages] {
-    scheduler_.run_work(pl_tid_, config_.profile.demux_cost_refus, [this, index, rung, pages] {
-      memory_.alloc_anon(pid_, pages, pl_tid_, [this, index, rung, pages](bool ok) {
-        if (!ok || !alive() || finished_) return;
+  auto demux = [this, index, rung, pages, epoch] {
+    scheduler_.run_work(pl_tid_, config_.profile.demux_cost_refus,
+                        [this, index, rung, pages, epoch] {
+      memory_.alloc_anon(pid_, pages, pl_tid_, [this, index, rung, pages, epoch](bool ok) {
+        if (!ok || !epoch_ok(epoch) || !alive() || finished_) return;
         Segment segment;
         segment.index = index;
         segment.rung = rung;
@@ -209,8 +278,8 @@ void VideoSession::on_segment_arrived(int index, Rung rung, mem::Pages pages) {
   if (scheduler_.exists(pl_tid_) && scheduler_.is_idle(pl_tid_)) {
     demux();
   } else {
-    engine_.schedule(sim::msec(1), [this, index, rung, pages] {
-      on_segment_arrived(index, rung, pages);
+    engine_.schedule(sim::msec(1), [this, index, rung, pages, epoch] {
+      if (epoch_ok(epoch)) on_segment_arrived(index, rung, pages);
     });
   }
 }
@@ -220,17 +289,21 @@ void VideoSession::ui_tick() {
   if (!scheduler_.exists(pl_tid_) || !scheduler_.is_idle(pl_tid_)) return;
   const double cost =
       downloading_ && link_.busy() ? config_.ui_cost_refus * 0.3 : config_.ui_cost_refus;
-  scheduler_.run_work(pl_tid_, cost, [this] {
+  const int epoch = epoch_;
+  scheduler_.run_work(pl_tid_, cost, [this, epoch] {
     // Runtime allocation churn: grab this tick's share, release it after
     // its GC lifetime.
     const auto ticks_per_sec =
         std::max<sim::Time>(1, sim::sec(1) / std::max<sim::Time>(1, config_.ui_period));
     const mem::Pages churn = config_.churn_pages_per_sec / ticks_per_sec;
-    if (churn <= 0 || !alive() || finished_) return;
-    memory_.alloc_anon(pid_, churn, pl_tid_, [this, churn](bool ok) {
+    if (churn <= 0 || !epoch_ok(epoch) || !alive() || finished_) return;
+    memory_.alloc_anon(pid_, churn, pl_tid_, [this, churn, epoch](bool ok) {
       if (!ok) return;
-      engine_.schedule(config_.churn_lifetime, [this, churn] {
-        if (memory_.registry().alive(pid_)) memory_.free_anon(pid_, churn);
+      engine_.schedule(config_.churn_lifetime, [this, churn, epoch] {
+        // Epoch guard: the kill already freed this incarnation's pages;
+        // releasing them against a relaunched process would corrupt the
+        // page accounting.
+        if (epoch_ok(epoch) && memory_.registry().alive(pid_)) memory_.free_anon(pid_, churn);
       });
     });
   });
@@ -240,7 +313,13 @@ void VideoSession::ui_tick() {
 
 void VideoSession::begin_playback() {
   playback_started_ = true;
-  metrics_.playback_start = engine_.now() + config_.startup_delay;
+  playback_base_ = engine_.now() + config_.startup_delay;
+  pts_origin_ = buffer_.front().start_pts;
+  if (metrics_.playback_start < 0) metrics_.playback_start = playback_base_;
+  if (pending_kill_time_ >= 0) {
+    metrics_.relaunch_downtime += playback_base_ - pending_kill_time_;
+    pending_kill_time_ = -1;
+  }
   decode_next();
 }
 
@@ -251,6 +330,7 @@ void VideoSession::decode_next() {
       finish();
       return;
     }
+    ++metrics_.rebuffer_events;
     waiting_for_segment_ = true;
     return;
   }
@@ -264,13 +344,13 @@ void VideoSession::decode_next() {
   }
 
   const sim::Time pts = frame_pts(segment.start_pts, frame_in_segment_, segment.rung.fps);
-  const sim::Time deadline = metrics_.playback_start + pts;
+  const sim::Time deadline = playback_base_ + (pts - pts_origin_);
   const sim::Time now = engine_.now();
 
   if (now > deadline + config_.present_slack) {
     // Frame is already unpresentable: skip-decode it cheaply and move on
     // (the decoder catching up — this is what a stutter looks like).
-    note_dropped(deadline);
+    note_dropped(pts);
     const double skip_cost =
         0.15 * config_.profile.decode_cost_refus(segment.rung, config_.asset.complexity);
     advance_frame();
@@ -305,14 +385,15 @@ void VideoSession::decode_next() {
     const auto anon_touch = static_cast<mem::Pages>(static_cast<double>(window_anon) * scale);
     const auto file_touch = static_cast<mem::Pages>(static_cast<double>(window_file) * scale);
     const Segment snapshot = segment;
+    const int epoch = epoch_;
     memory_.touch_working_set(pid_, mc_tid_, anon_touch, file_touch,
-                              [this, snapshot, deadline](bool ok) {
-                                if (!ok || !alive() || finished_) return;
-                                decode_current_frame(snapshot, deadline);
+                              [this, snapshot, deadline, pts, epoch](bool ok) {
+                                if (!ok || !epoch_ok(epoch) || !alive() || finished_) return;
+                                decode_current_frame(snapshot, deadline, pts);
                               });
     return;
   }
-  decode_current_frame(segment, deadline);
+  decode_current_frame(segment, deadline, pts);
 }
 
 void VideoSession::ensure_decoder_pool(const Rung& rung, std::function<void()> next) {
@@ -321,11 +402,12 @@ void VideoSession::ensure_decoder_pool(const Rung& rung, std::function<void()> n
     return;
   }
   const mem::Pages new_pool = config_.profile.decoder_pool_pages(rung);
+  const int epoch = epoch_;
   // Allocate the new pool before releasing the old one — the transient
   // double allocation is exactly what a live rung switch costs.
-  memory_.alloc_anon(pid_, new_pool, mc_tid_, [this, rung, new_pool,
+  memory_.alloc_anon(pid_, new_pool, mc_tid_, [this, rung, new_pool, epoch,
                                                next = std::move(next)](bool ok) {
-    if (!ok || !alive() || finished_) return;
+    if (!ok || !epoch_ok(epoch) || !alive() || finished_) return;
     if (pool_pages_ > 0) memory_.free_anon(pid_, pool_pages_);
     pool_pages_ = new_pool;
     pool_rung_ = rung;
@@ -333,17 +415,18 @@ void VideoSession::ensure_decoder_pool(const Rung& rung, std::function<void()> n
   });
 }
 
-void VideoSession::decode_current_frame(const Segment& segment, sim::Time deadline) {
-  ensure_decoder_pool(segment.rung, [this, segment, deadline] {
+void VideoSession::decode_current_frame(const Segment& segment, sim::Time deadline,
+                                        sim::Time pts) {
+  ensure_decoder_pool(segment.rung, [this, segment, deadline, pts] {
     const double cost =
         config_.profile.decode_cost_refus(segment.rung, config_.asset.complexity) *
         unit_lognormal(rng_, config_.decode_sigma);
-    scheduler_.run_work(mc_tid_, cost, [this, segment, deadline] {
+    scheduler_.run_work(mc_tid_, cost, [this, segment, deadline, pts] {
       if (!alive() || finished_) return;
       if (engine_.now() > deadline + config_.present_slack) {
-        note_dropped(deadline);
+        note_dropped(pts);
       } else {
-        enqueue_compose(deadline, segment.rung);
+        enqueue_compose(deadline, pts, segment.rung);
       }
       advance_frame();
       decode_next();
@@ -355,8 +438,8 @@ void VideoSession::advance_frame() { ++frame_in_segment_; }
 
 // --- In-process compositor ----------------------------------------------------
 
-void VideoSession::enqueue_compose(sim::Time deadline, const Rung& rung) {
-  compose_queue_.push_back(PresentItem{deadline, rung});
+void VideoSession::enqueue_compose(sim::Time deadline, sim::Time pts, const Rung& rung) {
+  compose_queue_.push_back(PresentItem{deadline, pts, rung});
   comp_pump();
 }
 
@@ -369,9 +452,9 @@ void VideoSession::comp_pump() {
   const double cost = config_.profile.compositor_cost_refus(item.rung);
   scheduler_.run_work(comp_tid_, cost, [this, item] {
     if (engine_.now() > item.deadline + config_.present_slack) {
-      note_dropped(item.deadline);
+      note_dropped(item.pts);
     } else {
-      enqueue_present(item.deadline, item.rung);
+      enqueue_present(item.deadline, item.pts, item.rung);
     }
     comp_busy_ = false;
     comp_pump();
@@ -380,8 +463,8 @@ void VideoSession::comp_pump() {
 
 // --- Presentation ------------------------------------------------------------
 
-void VideoSession::enqueue_present(sim::Time deadline, const Rung& rung) {
-  present_queue_.push_back(PresentItem{deadline, rung});
+void VideoSession::enqueue_present(sim::Time deadline, sim::Time pts, const Rung& rung) {
+  present_queue_.push_back(PresentItem{deadline, pts, rung});
   sf_pump();
 }
 
@@ -392,30 +475,32 @@ void VideoSession::sf_pump() {
   const PresentItem item = present_queue_.front();
   present_queue_.pop_front();
   const double cost = config_.profile.compose_cost_refus(item.rung);
-  scheduler_.run_work(sf_tid_, cost, [this, item] {
-    if (engine_.now() <= item.deadline + config_.present_slack) {
-      note_presented(item.deadline);
-    } else {
-      note_dropped(item.deadline);
+  // SurfaceFlinger lives in the system process and survives a client
+  // kill, so this callback can fire for a dead incarnation: the frame was
+  // already accounted as lost at kill time — just release the stage.
+  const int epoch = epoch_;
+  scheduler_.run_work(sf_tid_, cost, [this, item, epoch] {
+    if (epoch_ok(epoch)) {
+      if (engine_.now() <= item.deadline + config_.present_slack) {
+        note_presented(item.pts);
+      } else {
+        note_dropped(item.pts);
+      }
     }
     sf_busy_ = false;
     sf_pump();
-    if (finished_ && present_queue_.empty()) {
-      // Late presents after finish just settle the counters.
-    }
   });
 }
 
 // --- Accounting ---------------------------------------------------------------
 
-std::size_t VideoSession::media_second(sim::Time deadline) const noexcept {
-  const sim::Time pts = std::max<sim::Time>(0, deadline - metrics_.playback_start);
-  return static_cast<std::size_t>(pts / sim::sec(1));
+std::size_t VideoSession::media_second(sim::Time pts) const noexcept {
+  return static_cast<std::size_t>(std::max<sim::Time>(0, pts) / sim::sec(1));
 }
 
-void VideoSession::note_presented(sim::Time deadline) {
+void VideoSession::note_presented(sim::Time pts) {
   ++metrics_.frames_presented;
-  const std::size_t second = media_second(deadline);
+  const std::size_t second = media_second(pts);
   if (metrics_.presented_per_second.size() <= second) {
     metrics_.presented_per_second.resize(second + 1, 0);
   }
@@ -424,9 +509,9 @@ void VideoSession::note_presented(sim::Time deadline) {
                   static_cast<std::int64_t>(second));
 }
 
-void VideoSession::note_dropped(sim::Time deadline) {
+void VideoSession::note_dropped(sim::Time pts) {
   ++metrics_.frames_dropped;
-  const std::size_t second = media_second(deadline);
+  const std::size_t second = media_second(pts);
   if (metrics_.dropped_per_second.size() <= second) {
     metrics_.dropped_per_second.resize(second + 1, 0);
   }
@@ -443,31 +528,125 @@ void VideoSession::sample_pss() {
   tracer_.counter("pss_mb", engine_.now(), pss_mb);
 }
 
+void VideoSession::account_kill_losses() {
+  // Frames in flight past the decoder (compose/present queues and the
+  // stage slots) die with the display pipeline; the played segment's
+  // undecoded remainder dies with the buffer. Segments buffered beyond
+  // the playhead were freed by the kill but never entered playback — the
+  // relaunch re-downloads them, so their frames are not lost.
+  std::int64_t lost = static_cast<std::int64_t>(compose_queue_.size() + present_queue_.size());
+  if (comp_busy_) ++lost;
+  if (sf_busy_) ++lost;
+  int resume = downloading_ ? next_segment_ - 1 : next_segment_;
+  if (!buffer_.empty()) {
+    const Segment& front = buffer_.front();
+    if (frame_in_segment_ > 0) {
+      lost += front.frames - frame_in_segment_;
+      resume = front.index + 1;
+    } else {
+      resume = front.index;
+    }
+  }
+  metrics_.frames_lost_to_kill += lost;
+  resume_segment_ = resume;
+}
+
 void VideoSession::handle_crash() {
   if (finished_ || crashed_) return;
-  crashed_ = true;
-  metrics_.crashed = true;
-  metrics_.crash_time = engine_.now();
-  tracer_.instant(trace::InstantKind::ClientCrashed, engine_.now(), pl_tid_, 0);
+  const sim::Time now = engine_.now();
+  metrics_.kill_times.push_back(now);
+  tracer_.instant(trace::InstantKind::ClientCrashed, now, pl_tid_, 0);
 
-  // Drop statistics cover the *played* portion only; the crash itself is
-  // reported separately (the paper's Fig 9 drop bars and Table 2 crash
-  // rates are separate panels over the same runs).
+  // Invalidate every outstanding callback of this incarnation, stop the
+  // periodic work, and cancel the in-flight download.
+  ++epoch_;
+  crashed_ = true;
+  if (active_transfer_ != net::kInvalidTransfer) {
+    link_.cancel(active_transfer_);
+    active_transfer_ = net::kInvalidTransfer;
+  }
+  if (watchdog_event_ != sim::kInvalidEvent) {
+    engine_.cancel(watchdog_event_);
+    watchdog_event_ = sim::kInvalidEvent;
+  }
   if (pss_sampler_ != nullptr) pss_sampler_->stop();
   if (ui_task_ != nullptr) ui_task_->stop();
-  finished_ = true;
-  metrics_.finished_at = engine_.now();
-  if (on_finished_) {
-    engine_.schedule(0, [fn = std::move(on_finished_)] { fn(); });
-    on_finished_ = nullptr;
+
+  account_kill_losses();
+
+  // The kill already freed the process's pages (playback buffer and
+  // decoder pool included): forget them without a second free.
+  buffer_.clear();
+  compose_queue_.clear();
+  present_queue_.clear();
+  comp_busy_ = false;  // compositor thread died with the process
+  // sf_busy_ is left alone: SurfaceFlinger survives, and its in-flight
+  // callback (epoch-guarded) releases the stage itself.
+  pool_pages_ = 0;
+  frame_in_segment_ = 0;
+  downloading_ = false;
+  downloads_done_ = false;
+  waiting_for_segment_ = false;
+
+  const bool relaunch_allowed = config_.recovery.relaunch_on_kill &&
+                                metrics_.relaunches < config_.recovery.max_relaunches &&
+                                resume_segment_ < total_segments_;
+  if (!relaunch_allowed) {
+    // Terminal crash: drop statistics cover the *played* portion only;
+    // the crash itself is reported separately (the paper's Fig 9 drop
+    // bars and Table 2 crash rates are separate panels over the same
+    // runs).
+    metrics_.crashed = true;
+    metrics_.crash_time = now;
+    finished_ = true;
+    metrics_.finished_at = now;
+    if (on_finished_) {
+      engine_.schedule(0, [fn = std::move(on_finished_)] { fn(); });
+      on_finished_ = nullptr;
+    }
+    return;
   }
+
+  // Absorbed kill: cold restart after the relaunch delay. Counted as a
+  // rebuffer + relaunch rather than a terminal crash.
+  ++metrics_.rebuffer_events;
+  pending_kill_time_ = now;
+  const int epoch = epoch_;
+  engine_.schedule(config_.recovery.relaunch_delay, [this, epoch] {
+    if (!epoch_ok(epoch) || finished_) return;
+    relaunch();
+  });
+}
+
+void VideoSession::relaunch() {
+  ++metrics_.relaunches;
+  if (config_.next_pid) pid_ = config_.next_pid();
+  crashed_ = false;
+
+  memory_.register_process(pid_, config_.profile.process_name, mem::OomAdj::kForeground,
+                           [this] { handle_crash(); });
+  spawn_client_threads();  // fresh pl/mc/comp; SurfaceFlinger is still up
+
+  // Resume playback at the next clean segment boundary; everything the
+  // dead incarnation had buffered past it is re-downloaded.
+  next_segment_ = resume_segment_;
+  next_segment_pts_ = sim::sec(config_.asset.segment_s) * resume_segment_;
+  buffered_media_end_ = next_segment_pts_;
+  pts_origin_ = next_segment_pts_;
+  playback_started_ = false;
+
+  tracer_.instant(trace::InstantKind::SessionRelaunch, engine_.now(), pl_tid_,
+                  metrics_.relaunches);
+  launch_stage(0);
 }
 
 void VideoSession::finish() {
   if (finished_) return;
   finished_ = true;
   metrics_.finished_at = engine_.now();
-  for (const Segment& segment : buffer_) memory_.free_anon(pid_, segment.pages);
+  if (memory_.registry().alive(pid_)) {
+    for (const Segment& segment : buffer_) memory_.free_anon(pid_, segment.pages);
+  }
   buffer_.clear();
   if (pss_sampler_ != nullptr) pss_sampler_->stop();
   if (ui_task_ != nullptr) ui_task_->stop();

@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mem/memory_manager.hpp"
@@ -32,6 +33,33 @@
 #include "video/player_profile.hpp"
 
 namespace mvqoe::video {
+
+/// Recovery / robustness knobs for the fault-injection scenarios.
+/// Defaults are conservative and backwards compatible: downloads retry a
+/// few times with exponential backoff, but there is no watchdog and a
+/// kill still ends the session terminally.
+struct RecoveryConfig {
+  /// Relaunch the client after an lmkd/fault kill instead of ending the
+  /// session: cold restart (relaunch_delay, heap re-committed in stages),
+  /// playback buffer lost, playback resumes at the next segment boundary.
+  /// The kill is accounted as a rebuffer + relaunch, not a terminal crash.
+  bool relaunch_on_kill = false;
+  int max_relaunches = 1;
+  /// Process cold-start cost (zygote fork + activity restart) before the
+  /// relaunched client begins re-allocating its footprint.
+  sim::Time relaunch_delay = sim::msec(2500);
+  /// Per-segment retry budget for failed/timed-out downloads; exhausting
+  /// it aborts the session (SessionMetrics::aborted) instead of hanging.
+  int max_segment_retries = 6;
+  sim::Time retry_backoff_initial = sim::msec(250);
+  double retry_backoff_factor = 2.0;
+  sim::Time retry_backoff_max = sim::sec(8);
+  /// Session-level download watchdog: a segment transfer still in flight
+  /// after this long is cancelled and retried (0 = disabled). Must exceed
+  /// the worst honest transfer time of the ladder on the slowest link
+  /// profile in use.
+  sim::Time download_watchdog = 0;
+};
 
 struct SessionConfig {
   VideoAsset asset;
@@ -72,15 +100,36 @@ struct SessionConfig {
   /// no real allocation pattern does.
   sim::Time launch_stage_pause = sim::msec(180);
   int launch_stages = 16;
+  RecoveryConfig recovery;
+  /// Fresh pid source for the relaunch path (a relaunched app gets a new
+  /// pid from zygote). Null = reuse the old pid.
+  std::function<mem::ProcessId()> next_pid;
 };
 
 struct SessionMetrics {
   std::int64_t frames_presented = 0;
   std::int64_t frames_dropped = 0;
+  /// Frames forfeited by kills: the undecoded remainder of the segment
+  /// being played plus decoded frames in flight toward the display. With
+  /// a fixed-fps ladder, presented + dropped + lost_to_kill equals the
+  /// asset's frame count for any run that ends in playout or a kill.
+  std::int64_t frames_lost_to_kill = 0;
   bool crashed = false;
   sim::Time crash_time = -1;
+  /// Unrecoverable download failure (retry budget exhausted); the session
+  /// ends early rather than hanging.
+  bool aborted = false;
+  std::string abort_reason;
   sim::Time playback_start = -1;
   sim::Time finished_at = -1;
+  /// Recovery accounting (see RecoveryConfig).
+  int relaunches = 0;
+  int rebuffer_events = 0;
+  int segment_retries = 0;
+  int download_timeouts = 0;
+  std::vector<sim::Time> kill_times;
+  /// Wall time from each absorbed kill to playback resuming.
+  sim::Time relaunch_downtime = 0;
   /// Presented / dropped frame counts per media-time second.
   std::vector<int> presented_per_second;
   std::vector<int> dropped_per_second;
@@ -132,39 +181,50 @@ class VideoSession {
   };
   struct PresentItem {
     sim::Time deadline = 0;
+    sim::Time pts = 0;
     Rung rung;
   };
 
   // Download pipeline (player thread).
   void maybe_download();
+  void request_segment(int index, Rung rung, std::uint64_t bytes, int attempt);
+  void retry_segment(int index, Rung rung, std::uint64_t bytes, int attempt);
   void on_segment_arrived(int index, Rung rung, mem::Pages pages);
   double buffered_seconds() const noexcept;
 
   // Decode pipeline (MediaCodec thread).
   void decode_next();
-  void decode_current_frame(const Segment& segment, sim::Time deadline);
+  void decode_current_frame(const Segment& segment, sim::Time deadline, sim::Time pts);
   void ensure_decoder_pool(const Rung& rung, std::function<void()> next);
   void advance_frame();
 
   // In-process compositor stage (decode -> compositor -> SurfaceFlinger).
-  void enqueue_compose(sim::Time deadline, const Rung& rung);
+  void enqueue_compose(sim::Time deadline, sim::Time pts, const Rung& rung);
   void comp_pump();
   // Presentation (SurfaceFlinger thread).
-  void enqueue_present(sim::Time deadline, const Rung& rung);
+  void enqueue_present(sim::Time deadline, sim::Time pts, const Rung& rung);
   void sf_pump();
 
+  void spawn_client_threads();
   void launch_stage(int stage);
   void begin_playback();
-  void note_presented(sim::Time deadline);
-  void note_dropped(sim::Time deadline);
-  std::size_t media_second(sim::Time deadline) const noexcept;
+  void note_presented(sim::Time pts);
+  void note_dropped(sim::Time pts);
+  std::size_t media_second(sim::Time pts) const noexcept;
   void handle_crash();
+  void account_kill_losses();
+  void relaunch();
   void finish();
   void sample_pss();
   void ui_tick();
   AbrContext make_context() const;
 
   bool alive() const noexcept;
+  /// True while `epoch` is the current session incarnation. Every async
+  /// callback captures the epoch at issue time; a kill bumps it, making
+  /// all outstanding callbacks of the dead incarnation inert so they
+  /// cannot corrupt the relaunched one.
+  bool epoch_ok(int epoch) const noexcept { return epoch == epoch_; }
 
   sim::Engine& engine_;
   sched::Scheduler& scheduler_;
@@ -189,6 +249,17 @@ class VideoSession {
   std::deque<Segment> buffer_;
   sim::Time buffered_media_end_ = 0;  // pts of last buffered media
   sim::Time next_segment_pts_ = 0;
+  net::TransferId active_transfer_ = net::kInvalidTransfer;
+  sim::EventId watchdog_event_ = sim::kInvalidEvent;
+
+  int epoch_ = 0;
+  /// Wall time of pts_origin_'s presentation deadline; a frame at `pts`
+  /// is due at playback_base_ + (pts - pts_origin_). Re-derived per
+  /// incarnation so a relaunch resumes with achievable deadlines.
+  sim::Time playback_base_ = 0;
+  sim::Time pts_origin_ = 0;
+  int resume_segment_ = 0;
+  sim::Time pending_kill_time_ = -1;
 
   bool playback_started_ = false;
   bool waiting_for_segment_ = false;

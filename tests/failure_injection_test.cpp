@@ -178,5 +178,201 @@ TEST(FailureInjection, StartupUnderCriticalEitherPlaysOrCrashesCleanly) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Table-driven fault scenarios: every scenario runs a real session on a
+// booted Nexus 5 with a FaultPlan armed against it, and must end with the
+// frame identity intact — presented + dropped + lost_to_kill equals the
+// asset's frame count — with no crash, no abort, no watchdog violation.
+// ---------------------------------------------------------------------------
+
+struct FaultScenario {
+  const char* name;
+  int duration_s;
+  double rate_mbps;             // 0 = keep the 80 Mbps default
+  sim::Time buffer_capacity;    // 0 = keep the 60 s default
+  sim::Time outage_at;          // -1 = no outage
+  sim::Time outage_duration;
+  sim::Time kill_at;            // -1 = no kill
+  int expected_relaunches;
+  int min_rebuffer_events;
+};
+
+TEST(FaultScenarios, TableDrivenRecoveryKeepsFrameAccountingExact) {
+  const FaultScenario scenarios[] = {
+      // Outage from t=0: the very first segment download freezes mid-wire
+      // during startup, then resumes; startup is late but playback runs.
+      {"outage-during-startup", 16, 0.0, 0, 0, sec(3), -1, 0, 0},
+      // Paced link + small buffer so downloads are still live at t=8 when
+      // a 5 s steady-state outage hits.
+      {"outage-steady-state", 20, 4.0, sec(8), sec(8), sec(5), -1, 0, 0},
+      // Kill at 500 ms: mid-launch, before any frame or even the first
+      // segment. Relaunch replays the whole asset; nothing is lost.
+      {"kill-during-startup", 12, 0.0, 0, -1, 0, sim::msec(500), 1, 0},
+      // Kill in steady playback: buffered segments and the partially
+      // played one are forfeited, playback resumes at the next boundary.
+      {"kill-steady-state", 16, 0.0, 0, -1, 0, sec(8), 1, 0},
+      // A long outage drains the 8 s buffer into a rebuffer stall, and
+      // the kill lands while the session is starved.
+      {"kill-during-rebuffer", 24, 4.0, sec(8), sec(6), sec(12), sec(15), 1, 1},
+  };
+
+  for (const FaultScenario& sc : scenarios) {
+    SCOPED_TRACE(sc.name);
+    DeviceFixture fx;
+    if (sc.rate_mbps > 0.0) fx.testbed.link.set_rate_mbps(sc.rate_mbps);
+
+    auto config = fx.session_config(480, 30, sc.duration_s);
+    if (sc.buffer_capacity > 0) config.buffer_capacity = sc.buffer_capacity;
+    config.recovery.relaunch_on_kill = true;
+    config.recovery.max_relaunches = 1;
+    config.next_pid = [&fx] { return fx.testbed.am.next_pid(); };
+
+    fault::FaultPlan plan;
+    if (sc.outage_at >= 0) plan.link_outages.push_back({sc.outage_at, sc.outage_duration});
+    if (sc.kill_at >= 0) plan.kills.push_back({sc.kill_at, 0});
+
+    fault::InvariantWatchdog watchdog(fx.testbed.engine, fault::WatchdogConfig{},
+                                      &fx.testbed.memory, &fx.testbed.tracer);
+    watchdog.start();
+
+    video::VideoSession session(fx.testbed.engine, fx.testbed.scheduler, fx.testbed.memory,
+                                fx.testbed.link, fx.testbed.tracer, config);
+
+    fault::FaultTargets targets;
+    targets.engine = &fx.testbed.engine;
+    targets.link = &fx.testbed.link;
+    targets.storage = &fx.testbed.storage;
+    targets.scheduler = &fx.testbed.scheduler;
+    targets.memory = &fx.testbed.memory;
+    targets.tracer = &fx.testbed.tracer;
+    fault::FaultInjector injector(targets, plan);
+    injector.set_kill_target([&session] { return session.pid(); });
+    injector.arm(fx.testbed.engine.now());
+
+    bool finished = false;
+    session.start(fx.testbed.am.next_pid(), [&finished] { finished = true; });
+    const sim::Time horizon = fx.testbed.engine.now() + sec(240);
+    while (!finished && fx.testbed.engine.now() < horizon) {
+      fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(1));
+    }
+    injector.disarm();
+    watchdog.check_now();
+    watchdog.stop();
+
+    const auto& metrics = session.metrics();
+    ASSERT_TRUE(finished);
+    EXPECT_FALSE(metrics.crashed);
+    EXPECT_FALSE(metrics.aborted);
+    EXPECT_EQ(metrics.relaunches, sc.expected_relaunches);
+    EXPECT_EQ(static_cast<int>(metrics.kill_times.size()), sc.expected_relaunches);
+    EXPECT_GE(metrics.rebuffer_events, sc.min_rebuffer_events);
+    EXPECT_EQ(metrics.frames_presented + metrics.frames_dropped + metrics.frames_lost_to_kill,
+              static_cast<std::int64_t>(sc.duration_s) * 30)
+        << "frame identity broken: presented=" << metrics.frames_presented
+        << " dropped=" << metrics.frames_dropped
+        << " lost_to_kill=" << metrics.frames_lost_to_kill;
+    EXPECT_TRUE(watchdog.ok()) << (watchdog.ok() ? "" : watchdog.violations().front().what);
+    if (sc.kill_at >= 0) {
+      EXPECT_EQ(injector.kills_injected(), 1u);
+      EXPECT_GT(metrics.relaunch_downtime, 0);
+    }
+  }
+}
+
+TEST(FaultScenarios, StorageErrorWindowDuringPressureDegradesButCompletes) {
+  // Moderate pressure keeps kswapd reclaiming, so mmcqd is busy with
+  // refault reads and writeback exactly when the degradation window
+  // injects 6x latency and 40% transient errors. The device-side retry
+  // path must absorb every error; the run must still classify cleanly.
+  core::VideoRunSpec spec;
+  spec.device = core::nexus5();
+  spec.height = 480;
+  spec.fps = 30;
+  spec.pressure = PressureLevel::Moderate;
+  spec.asset = video::dubai_flow_motion(16);
+  spec.fault_plan.storage_degradations.push_back({sec(2), sec(12), 6.0, 0.4});
+  spec.run_watchdog = true;
+  core::VideoExperiment experiment(spec);
+  const auto result = experiment.run();
+  EXPECT_NE(result.status, core::RunStatus::TimedOut);
+  EXPECT_TRUE(result.watchdog_violations.empty());
+  const auto& counters = experiment.testbed().storage.counters();
+  EXPECT_GT(counters.io_errors, 0u);
+  EXPECT_GE(counters.io_retries, counters.io_errors);
+  // Window closed: storage back to nominal.
+  EXPECT_DOUBLE_EQ(experiment.testbed().storage.latency_multiplier(), 1.0);
+  EXPECT_DOUBLE_EQ(experiment.testbed().storage.error_rate(), 0.0);
+}
+
+TEST(FaultScenarios, AcceptanceOutagePlusKillRelaunchesOnceDeterministically) {
+  // The ISSUE acceptance scenario: Nexus 5, 60 s 480p30 video, 5 s link
+  // outage at t=10 s and an lmkd-style kill at t=30 s with the relaunch
+  // path enabled. The session must complete without crash or hang,
+  // relaunch exactly once, keep the frame identity exact, and replay
+  // byte-identically for the same seed.
+  const auto run_once = [] {
+    core::VideoRunSpec spec;
+    spec.device = core::nexus5();
+    spec.height = 480;
+    spec.fps = 30;
+    spec.seed = 11;
+    spec.asset = video::dubai_flow_motion(60);
+    spec.fault_plan.link_outages.push_back({sec(10), sec(5)});
+    spec.fault_plan.kills.push_back({sec(30), 0});
+    video::RecoveryConfig recovery;
+    recovery.relaunch_on_kill = true;
+    spec.recovery = recovery;
+    spec.run_watchdog = true;
+    return core::run_video(spec);
+  };
+
+  const auto first = run_once();
+  EXPECT_EQ(first.status, core::RunStatus::Completed) << first.failure_reason;
+  EXPECT_FALSE(first.metrics.crashed);
+  EXPECT_EQ(first.metrics.relaunches, 1);
+  ASSERT_EQ(first.metrics.kill_times.size(), 1u);
+  EXPECT_GT(first.metrics.frames_lost_to_kill, 0);
+  EXPECT_EQ(first.metrics.frames_presented + first.metrics.frames_dropped +
+                first.metrics.frames_lost_to_kill,
+            60 * 30);
+  EXPECT_TRUE(first.watchdog_violations.empty());
+
+  const auto second = run_once();
+  EXPECT_EQ(second.metrics.frames_presented, first.metrics.frames_presented);
+  EXPECT_EQ(second.metrics.frames_dropped, first.metrics.frames_dropped);
+  EXPECT_EQ(second.metrics.frames_lost_to_kill, first.metrics.frames_lost_to_kill);
+  EXPECT_EQ(second.metrics.kill_times, first.metrics.kill_times);
+  EXPECT_EQ(second.metrics.relaunch_downtime, first.metrics.relaunch_downtime);
+  EXPECT_EQ(second.metrics.rebuffer_events, first.metrics.rebuffer_events);
+  EXPECT_EQ(second.metrics.presented_per_second, first.metrics.presented_per_second);
+  EXPECT_EQ(second.metrics.dropped_per_second, first.metrics.dropped_per_second);
+  EXPECT_EQ(second.metrics.playback_start, first.metrics.playback_start);
+  EXPECT_EQ(second.metrics.finished_at, first.metrics.finished_at);
+}
+
+TEST(FaultScenarios, RetryBudgetExhaustionAbortsInsteadOfHanging) {
+  // A permanent outage starting before the first segment: every retry
+  // times out, the budget exhausts, and the session must end as Aborted
+  // with a structured reason — never hang until the horizon.
+  DeviceFixture fx;
+  auto config = fx.session_config(480, 30, 12);
+  config.recovery.max_segment_retries = 2;
+  config.recovery.retry_backoff_initial = sim::msec(100);
+  config.recovery.download_watchdog = sec(2);
+  fx.testbed.link.set_down(true);
+  video::VideoSession session(fx.testbed.engine, fx.testbed.scheduler, fx.testbed.memory,
+                              fx.testbed.link, fx.testbed.tracer, config);
+  bool finished = false;
+  session.start(fx.testbed.am.next_pid(), [&finished] { finished = true; });
+  fx.testbed.engine.run_until(fx.testbed.engine.now() + sec(120));
+  ASSERT_TRUE(finished);
+  const auto& metrics = session.metrics();
+  EXPECT_TRUE(metrics.aborted);
+  EXPECT_FALSE(metrics.abort_reason.empty());
+  EXPECT_GE(metrics.download_timeouts, 3);  // initial attempt + 2 retries
+  EXPECT_EQ(metrics.segment_retries, 2);
+  EXPECT_FALSE(metrics.crashed);
+}
+
 }  // namespace
 }  // namespace mvqoe

@@ -24,10 +24,14 @@ TEST(Link, TransferCompletesAtExpectedTime) {
   config.rate_mbps = 80.0;
   Link link(engine, config);
   sim::Time done = -1;
-  link.transfer(1'000'000, [&] { done = engine.now(); });  // 1 MB at 10 MB/s
+  link.transfer(1'000'000, [&](bool ok) {  // 1 MB at 10 MB/s
+    EXPECT_TRUE(ok);
+    done = engine.now();
+  });
   engine.run();
   EXPECT_EQ(done, link.idle_transfer_time(1'000'000));
   EXPECT_EQ(link.bytes_delivered(), 1'000'000u);
+  EXPECT_EQ(link.counters().completed, 1u);
 }
 
 TEST(Link, TransfersAreSerializedFifo) {
@@ -36,11 +40,11 @@ TEST(Link, TransfersAreSerializedFifo) {
   std::vector<int> order;
   sim::Time first_done = -1;
   sim::Time second_done = -1;
-  link.transfer(1'000'000, [&] {
+  link.transfer(1'000'000, [&](bool) {
     order.push_back(1);
     first_done = engine.now();
   });
-  link.transfer(1'000'000, [&] {
+  link.transfer(1'000'000, [&](bool) {
     order.push_back(2);
     second_done = engine.now();
   });
@@ -77,9 +81,154 @@ TEST(Link, SegmentSizedTransfersAreFastOnLan) {
   sim::Engine engine;
   Link link(engine, LinkConfig{});  // 80 Mbps default
   sim::Time done = -1;
-  link.transfer(12'000'000, [&] { done = engine.now(); });
+  link.transfer(12'000'000, [&](bool) { done = engine.now(); });
   engine.run();
   EXPECT_LT(done, sim::sec(2));
+}
+
+TEST(Link, MidTransferRateChangeRepacesRemainingBytes) {
+  // Regression for the dispatch-time completion bug: the completion used
+  // to be computed when the transfer started, so a mid-flight rate change
+  // had no effect on it. 8 MB at 8 Mbps = 1 MB/s -> 8 s total. Halfway
+  // through (4 MB on the wire), the rate drops 10x: the remaining 4 MB
+  // must now take 40 s, not 4 s.
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 8.0;
+  config.propagation = 0;
+  config.per_transfer_overhead = 0;
+  Link link(engine, config);
+  sim::Time done = -1;
+  link.transfer(8'000'000, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done = engine.now();
+  });
+  engine.run_until(sim::sec(4));
+  link.set_rate_mbps(0.8);
+  engine.run();
+  EXPECT_EQ(done, sim::sec(44));
+}
+
+TEST(Link, MidTransferSpeedupRepacesToo) {
+  // 8 s transfer; after 2 s the rate x4: remaining 6 MB at 4 MB/s = 1.5 s.
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 8.0;
+  config.propagation = 0;
+  config.per_transfer_overhead = 0;
+  Link link(engine, config);
+  sim::Time done = -1;
+  link.transfer(8'000'000, [&](bool) { done = engine.now(); });
+  engine.run_until(sim::sec(2));
+  link.set_rate_mbps(32.0);
+  engine.run();
+  EXPECT_EQ(done, sim::sec(2) + msec(1500));
+}
+
+TEST(Link, OutageFreezesProgressAndResumesOnRestore) {
+  // 1 MB at 1 MB/s with no setup = 1 s. Down from t=0.4 to t=5.4: the
+  // remaining 0.6 MB resumes on restore -> completes at 6.0 s.
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 8.0;
+  config.propagation = 0;
+  config.per_transfer_overhead = 0;
+  Link link(engine, config);
+  sim::Time done = -1;
+  link.transfer(1'000'000, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done = engine.now();
+  });
+  engine.run_until(msec(400));
+  link.set_down(true);
+  EXPECT_TRUE(link.down());
+  engine.run_until(msec(5400));
+  EXPECT_EQ(done, -1);  // frozen, not completed and not failed
+  link.set_down(false);
+  engine.run();
+  EXPECT_EQ(done, sim::sec(6));
+  EXPECT_EQ(link.counters().outages, 1u);
+}
+
+TEST(Link, CancelSuppressesCallbackAndStartsNextTransfer) {
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 8.0;
+  Link link(engine, config);
+  bool first_fired = false;
+  sim::Time second_done = -1;
+  const TransferId first = link.transfer(1'000'000, [&](bool) { first_fired = true; });
+  link.transfer(1'000'000, [&](bool) { second_done = engine.now(); });
+  engine.run_until(msec(100));
+  EXPECT_TRUE(link.cancel(first));
+  EXPECT_FALSE(link.cancel(first));  // already gone
+  engine.run();
+  EXPECT_FALSE(first_fired);
+  EXPECT_EQ(link.counters().cancelled, 1u);
+  // The second transfer restarted at the cancel instant.
+  EXPECT_EQ(second_done, msec(100) + link.idle_transfer_time(1'000'000));
+}
+
+TEST(Link, CancelQueuedTransferNeverStartsIt) {
+  sim::Engine engine;
+  Link link(engine, LinkConfig{});
+  bool queued_fired = false;
+  link.transfer(1'000'000, nullptr);
+  const TransferId queued = link.transfer(1'000'000, [&](bool) { queued_fired = true; });
+  EXPECT_TRUE(link.cancel(queued));
+  engine.run();
+  EXPECT_FALSE(queued_fired);
+  EXPECT_EQ(link.bytes_delivered(), 1'000'000u);
+}
+
+TEST(Link, TransferTimeoutFailsSlowTransfer) {
+  // 8 s transfer against a 2 s active-time budget: fails at t=2 with
+  // ok=false, and the next queued transfer proceeds.
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 8.0;
+  config.propagation = 0;
+  config.per_transfer_overhead = 0;
+  config.transfer_timeout = sim::sec(2);
+  Link link(engine, config);
+  bool first_ok = true;
+  sim::Time failed_at = -1;
+  link.transfer(8'000'000, [&](bool ok) {
+    first_ok = ok;
+    failed_at = engine.now();
+  });
+  bool second_ok = false;
+  link.transfer(500'000, [&](bool ok) { second_ok = ok; });
+  engine.run();
+  EXPECT_FALSE(first_ok);
+  EXPECT_EQ(failed_at, sim::sec(2));
+  EXPECT_EQ(link.counters().timed_out, 1u);
+  EXPECT_TRUE(second_ok);
+}
+
+TEST(Link, DownTimeDoesNotCountAgainstTimeout) {
+  // 0.5 s transfer, 2 s timeout. Down for 10 s mid-flight: the timeout
+  // clock only counts active time, so the transfer still succeeds.
+  sim::Engine engine;
+  LinkConfig config;
+  config.rate_mbps = 8.0;
+  config.propagation = 0;
+  config.per_transfer_overhead = 0;
+  config.transfer_timeout = sim::sec(2);
+  Link link(engine, config);
+  bool ok_result = false;
+  bool fired = false;
+  link.transfer(500'000, [&](bool ok) {
+    fired = true;
+    ok_result = ok;
+  });
+  engine.run_until(msec(100));
+  link.set_down(true);
+  engine.run_until(sim::sec(10));
+  link.set_down(false);
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(ok_result);
 }
 
 }  // namespace

@@ -9,7 +9,12 @@ namespace {
 TEST(RunAggregate, DropRateMeanAndCi) {
   RunAggregate aggregate;
   for (const double rate : {0.10, 0.20, 0.30, 0.20, 0.20}) {
-    aggregate.add(RunOutcome{rate, false, 300.0, 340.0, 0.5});
+    RunOutcome outcome;
+    outcome.drop_rate = rate;
+    outcome.mean_pss_mb = 300.0;
+    outcome.peak_pss_mb = 340.0;
+    outcome.startup_delay_s = 0.5;
+    aggregate.add(outcome);
   }
   const auto drop = aggregate.drop_rate();
   EXPECT_NEAR(drop.mean, 0.20, 1e-12);
@@ -44,8 +49,14 @@ TEST(RunAggregate, EmptyIsSafe) {
 
 TEST(RunAggregate, PssMinMaxAcrossRuns) {
   RunAggregate aggregate;
-  aggregate.add(RunOutcome{0.0, false, 300.0, 320.0});
-  aggregate.add(RunOutcome{0.0, false, 310.0, 360.0});
+  RunOutcome first;
+  first.mean_pss_mb = 300.0;
+  first.peak_pss_mb = 320.0;
+  aggregate.add(first);
+  RunOutcome second;
+  second.mean_pss_mb = 310.0;
+  second.peak_pss_mb = 360.0;
+  aggregate.add(second);
   EXPECT_DOUBLE_EQ(aggregate.min_peak_pss_mb(), 320.0);
   EXPECT_DOUBLE_EQ(aggregate.max_peak_pss_mb(), 360.0);
   EXPECT_NEAR(aggregate.mean_pss_mb().mean, 305.0, 1e-12);

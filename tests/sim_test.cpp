@@ -124,6 +124,82 @@ TEST(Engine, PendingEventsExcludesCancelled) {
   EXPECT_EQ(engine.pending_events(), 1u);
 }
 
+TEST(Engine, CancelThenRunUntilExactlyAtEventTimeIsClean) {
+  // Regression for the lazy-cancel boundary case: an event cancelled
+  // before run_until(t) where t is exactly its timestamp must neither
+  // fire nor linger in the queue, and the clock must still land on t.
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(sec(2), [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run_until(sec(2));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.now(), sec(2));
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(Engine, CancelOneOfSameTimeEventsAtBoundaryKeepsOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(sec(1), [&] { order.push_back(0); });
+  const EventId middle = engine.schedule_at(sec(1), [&] { order.push_back(1); });
+  engine.schedule_at(sec(1), [&] { order.push_back(2); });
+  engine.cancel(middle);
+  engine.run_until(sec(1));
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(Engine, DispatchedCountsExcludeCancelledEvents) {
+  Engine engine;
+  engine.schedule_at(sec(1), [] {});
+  const EventId cancelled = engine.schedule_at(sec(2), [] {});
+  engine.schedule_at(sec(3), [] {});
+  engine.cancel(cancelled);
+  engine.run();
+  EXPECT_EQ(engine.dispatched(), 2u);
+}
+
+TEST(Engine, LivelockTripwireCountsZeroDelayRuns) {
+  Engine engine;
+  engine.set_livelock_limit(10);
+  int count = 0;
+  std::function<void()> spin = [&] {
+    if (++count < 50) engine.schedule(0, spin);
+  };
+  engine.schedule(0, spin);
+  engine.run();
+  EXPECT_GE(engine.livelock_trips(), 1u);
+}
+
+TEST(Engine, AdvancingClockNeverTripsLivelock) {
+  Engine engine;
+  engine.set_livelock_limit(10);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 50) engine.schedule(1, tick);
+  };
+  engine.schedule(0, tick);
+  engine.run();
+  EXPECT_EQ(engine.livelock_trips(), 0u);
+}
+
+TEST(Engine, InvariantsHoldThroughCancelChurn) {
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(engine.schedule_at(msec(i), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) engine.cancel(ids[i]);
+  EXPECT_TRUE(engine.check_invariants());
+  engine.run_until(msec(100));
+  EXPECT_TRUE(engine.check_invariants());
+  engine.run();
+  EXPECT_TRUE(engine.check_invariants());
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
 TEST(PeriodicTask, FiresAtPeriodUntilStopped) {
   Engine engine;
   int fires = 0;
