@@ -4,16 +4,17 @@
 // crash rates: Moderate 40% @480p, 100% @720p; Critical 100% everywhere.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvqoe;
   bench::header("Figure 9 + Table 2 - Nokia 1 (1 GB) frame drops & crash rates",
                 "Waheed et al., CoNEXT'22, Fig. 9 and Table 2");
   const int runs = bench::runs_per_cell();
   const int duration = bench::video_duration_s();
+  const int jobs = bench::jobs_from_args(argc, argv);
 
   bench::SweepSpec sweep;
   sweep.device = core::nokia1();
-  const auto cells = bench::run_sweep(sweep, runs, duration);
+  const auto cells = bench::run_sweep(sweep, runs, duration, jobs, "fig09_nokia1_drops");
   bench::print_drop_panel(cells);
   bench::print_crash_panel(cells);
 

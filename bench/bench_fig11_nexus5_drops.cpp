@@ -5,16 +5,17 @@
 // 480p60: 0, 720p60: 100}, Critical {100, 100, 70, 100}.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvqoe;
   bench::header("Figure 11 + Table 3 - Nexus 5 (2 GB) frame drops & crash rates",
                 "Waheed et al., CoNEXT'22, Fig. 11 and Table 3");
   const int runs = bench::runs_per_cell();
   const int duration = bench::video_duration_s();
+  const int jobs = bench::jobs_from_args(argc, argv);
 
   bench::SweepSpec sweep;
   sweep.device = core::nexus5();
-  const auto cells = bench::run_sweep(sweep, runs, duration);
+  const auto cells = bench::run_sweep(sweep, runs, duration, jobs, "fig11_nexus5_drops");
   bench::print_drop_panel(cells);
   bench::print_crash_panel(cells);
 

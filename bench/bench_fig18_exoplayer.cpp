@@ -4,24 +4,25 @@
 // under high pressure.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvqoe;
   bench::header("Figure 18 - ExoPlayer (native app) on Nexus 5",
                 "Waheed et al., CoNEXT'22, Fig. 18 / Appendix B.1");
   const int runs = bench::runs_per_cell();
   const int duration = bench::video_duration_s();
+  const int jobs = bench::jobs_from_args(argc, argv);
 
   bench::SweepSpec sweep;
   sweep.device = core::nexus5();
   sweep.platform = video::PlayerPlatform::ExoPlayer;
   sweep.heights = {480, 720, 1080};
-  const auto exo = bench::run_sweep(sweep, runs, duration);
+  const auto exo = bench::run_sweep(sweep, runs, duration, jobs, "fig18_exoplayer");
   bench::print_drop_panel(exo);
   bench::print_crash_panel(exo);
 
   // Appendix B's comparison point: same cells with Firefox.
   sweep.platform = video::PlayerPlatform::Firefox;
-  const auto firefox = bench::run_sweep(sweep, runs, duration);
+  const auto firefox = bench::run_sweep(sweep, runs, duration, jobs);
 
   bench::section("shape check: ExoPlayer vs Firefox (drops under pressure)");
   for (const auto state : {mem::PressureLevel::Moderate, mem::PressureLevel::Critical}) {

@@ -4,23 +4,24 @@
 // pressure.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvqoe;
   bench::header("Figure 19 - Chrome on Nexus 5",
                 "Waheed et al., CoNEXT'22, Fig. 19 / Appendix B.2");
   const int runs = bench::runs_per_cell();
   const int duration = bench::video_duration_s();
+  const int jobs = bench::jobs_from_args(argc, argv);
 
   bench::SweepSpec sweep;
   sweep.device = core::nexus5();
   sweep.platform = video::PlayerPlatform::Chrome;
   sweep.heights = {480, 720, 1080};
-  const auto chrome = bench::run_sweep(sweep, runs, duration);
+  const auto chrome = bench::run_sweep(sweep, runs, duration, jobs, "fig19_chrome");
   bench::print_drop_panel(chrome);
   bench::print_crash_panel(chrome);
 
   sweep.platform = video::PlayerPlatform::Firefox;
-  const auto firefox = bench::run_sweep(sweep, runs, duration);
+  const auto firefox = bench::run_sweep(sweep, runs, duration, jobs);
 
   bench::section("shape check: Chrome vs Firefox (drops under pressure)");
   for (const auto state : {mem::PressureLevel::Moderate, mem::PressureLevel::Critical}) {

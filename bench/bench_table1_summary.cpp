@@ -1,106 +1,123 @@
 // Table 1: the paper's key-insight summary. This bench regenerates each
 // row's quantitative claim from the corresponding subsystem: the field
 // study (§3 rows), the Nokia 1 / Nexus 5 experiments (§4 rows), the MOS
-// survey, and the §5 trace analysis.
+// survey, and the §5 trace analysis. The repeated-run video cells fan
+// out over the batch runner (--jobs / MVQOE_JOBS); every paper-vs-
+// measured row also lands in BENCH_table1_summary.json.
 #include "bench_util.hpp"
 #include "qoe/mos.hpp"
 #include "study_util.hpp"
 #include "trace/analysis.hpp"
 
-int main() {
+namespace {
+
+struct Row {
+  std::string what;
+  double paper = 0.0;
+  double measured = 0.0;
+  std::string unit;
+};
+
+std::vector<Row> g_rows;
+
+void row(const std::string& what, double paper, double measured, const std::string& unit) {
+  mvqoe::bench::compare(what, paper, measured, unit);
+  g_rows.push_back(Row{what, paper, measured, unit});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace mvqoe;
   bench::header("Table 1 - key insights summary", "Waheed et al., CoNEXT'22, Table 1");
   const int duration = bench::video_duration_s();
   const int runs = bench::runs_per_cell(3);
+  const int jobs = bench::jobs_from_args(argc, argv);
 
   bench::section("rows 1-2: user study (memory pressure in the wild)");
   {
-    const auto data = bench::run_scaled_study();
+    const auto data = bench::run_scaled_study(80, 42, jobs);
     const auto summary = study::summarize(data.results);
-    bench::compare("devices experiencing memory pressure (>=1 signal/h)", 63.0,
-                   summary.percent_with_any_signal_per_hour, "%");
-    bench::compare("devices with > 10 Critical signals/hour", 19.0,
-                   summary.percent_with_10_critical_per_hour, "%");
-    bench::compare("devices > 50% of time in high pressure", 10.0,
-                   summary.percent_time50_high_pressure, "%");
-    bench::compare("devices >= 2% of time in high pressure", 35.0,
-                   summary.percent_time2_high_pressure, "%");
+    row("devices experiencing memory pressure (>=1 signal/h)", 63.0,
+        summary.percent_with_any_signal_per_hour, "%");
+    row("devices with > 10 Critical signals/hour", 19.0,
+        summary.percent_with_10_critical_per_hour, "%");
+    row("devices > 50% of time in high pressure", 10.0, summary.percent_time50_high_pressure,
+        "%");
+    row("devices >= 2% of time in high pressure", 35.0, summary.percent_time2_high_pressure,
+        "%");
   }
 
   bench::section("row 3: entry-level (Nokia 1) high-res drops and crashes under pressure");
   {
+    core::VideoRunSpec proto;
+    proto.device = core::nokia1();
+    proto.asset = video::dubai_flow_motion(duration);
+    const auto cells = runner::run_sweep_grid(proto, {mem::PressureLevel::Moderate}, {30, 60},
+                                              {720, 1080}, runs, jobs, 1);
     stats::Accumulator drops;
     double crash = 0.0;
-    int cells = 0;
-    for (const int height : {720, 1080}) {
-      for (const int fps : {30, 60}) {
-        core::VideoRunSpec spec;
-        spec.device = core::nokia1();
-        spec.height = height;
-        spec.fps = fps;
-        spec.pressure = mem::PressureLevel::Moderate;
-        spec.asset = video::dubai_flow_motion(duration);
-        const auto agg = core::run_video_repeated(spec, runs);
-        drops.add(100.0 * agg.drop_rate().mean);
-        crash += agg.crash_rate_percent();
-        ++cells;
-        std::fflush(stdout);
-      }
+    for (const auto& cell : cells) {
+      drops.add(100.0 * cell.aggregate.drop_rate().mean);
+      crash += cell.aggregate.crash_rate_percent();
     }
-    bench::compare("Nokia 1 mean drops, 720/1080p under pressure", 75.0, drops.mean(), "%");
+    row("Nokia 1 mean drops, 720/1080p under pressure", 75.0, drops.mean(), "%");
     std::printf("  Nokia 1 'frequent crashes': mean crash rate %.0f%% across high-res cells\n",
-                crash / cells);
+                crash / static_cast<double>(cells.size()));
   }
 
   bench::section("row 4: Nexus 5 drops up to ~25%");
   {
+    core::VideoRunSpec proto;
+    proto.device = core::nexus5();
+    proto.asset = video::dubai_flow_motion(duration);
+    const auto cells = runner::run_sweep_grid(
+        proto, {mem::PressureLevel::Moderate, mem::PressureLevel::Critical}, {60}, {1080}, runs,
+        jobs, 1);
     double worst = 0.0;
-    for (const auto state : {mem::PressureLevel::Moderate, mem::PressureLevel::Critical}) {
-      core::VideoRunSpec spec;
-      spec.device = core::nexus5();
-      spec.height = 1080;
-      spec.fps = 60;
-      spec.pressure = state;
-      spec.asset = video::dubai_flow_motion(duration);
-      const auto agg = core::run_video_repeated(spec, runs);
-      worst = std::max(worst, 100.0 * agg.drop_rate_completed().mean);
-      std::fflush(stdout);
+    for (const auto& cell : cells) {
+      worst = std::max(worst, 100.0 * cell.aggregate.drop_rate_completed().mean);
     }
-    bench::compare("Nexus 5 worst-case drops (completed runs)", 25.0, worst, "%");
+    row("Nexus 5 worst-case drops (completed runs)", 25.0, worst, "%");
   }
 
   bench::section("row 5: user survey — experience degrades significantly under pressure");
   {
     const auto survey = qoe::run_dmos_survey(qoe::MosModel{}, 0.03, 0.35, 99, 42);
-    bench::compare("raters scoring 1-2 of 99", 60.0,
-                   static_cast<double>(survey.count(1) + survey.count(2)), "#");
+    row("raters scoring 1-2 of 99", 60.0,
+        static_cast<double>(survey.count(1) + survey.count(2)), "#");
   }
 
   bench::section("row 6: waiting time of video threads increases under pressure");
   {
-    auto run_states = [&](mem::PressureLevel state) {
-      core::VideoRunSpec spec;
-      spec.device = core::nokia1();
-      spec.height = 480;
-      spec.fps = 60;
-      spec.pressure = state;
-      spec.asset = video::dubai_flow_motion(duration);
-      spec.seed = 3;
-      core::VideoExperiment experiment(spec);
-      experiment.run();
-      std::vector<trace::ThreadId> tids = experiment.session().client_thread_ids();
-      tids.push_back(experiment.session().surfaceflinger_tid());
-      return trace::state_times(experiment.testbed().tracer, tids,
-                                experiment.playback_start());
-    };
-    const auto normal = run_states(mem::PressureLevel::Normal);
-    const auto moderate = run_states(mem::PressureLevel::Moderate);
+    // Two single runs that each dissect the tracer afterwards: fan the
+    // pair out as a two-task batch.
+    const auto batch =
+        runner::run_batch(std::size_t{2}, jobs, [&](std::size_t i) -> trace::StateTimeTable {
+          const auto state =
+              i == 0 ? mem::PressureLevel::Normal : mem::PressureLevel::Moderate;
+          core::VideoRunSpec spec;
+          spec.device = core::nokia1();
+          spec.height = 480;
+          spec.fps = 60;
+          spec.pressure = state;
+          spec.asset = video::dubai_flow_motion(duration);
+          spec.seed = 3;
+          core::VideoExperiment experiment(spec);
+          experiment.run();
+          std::vector<trace::ThreadId> tids = experiment.session().client_thread_ids();
+          tids.push_back(experiment.session().surfaceflinger_tid());
+          return trace::state_times(experiment.testbed().tracer, tids,
+                                    experiment.playback_start());
+        });
+    const auto& normal = batch.runs[0].value;
+    const auto& moderate = batch.runs[1].value;
     const double increase =
         normal.runnable_preempted > 0
             ? 100.0 * (moderate.runnable_preempted - normal.runnable_preempted) /
                   normal.runnable_preempted
             : 0.0;
-    bench::compare("Runnable (Preempted) increase Normal->Moderate", 97.8, increase, "%");
+    row("Runnable (Preempted) increase Normal->Moderate", 97.8, increase, "%");
   }
 
   bench::section("row 7: adaptation opportunity (frame rate under pressure)");
@@ -112,7 +129,7 @@ int main() {
       spec.fps = fps;
       spec.organic_background_apps = 8;
       spec.asset = video::dubai_flow_motion(duration);
-      return core::run_video_repeated(spec, runs).drop_rate().mean * 100.0;
+      return runner::run_video_batch(spec, runs, jobs).aggregate.drop_rate().mean * 100.0;
     };
     const double at60 = run_fps(60);
     const double at24 = run_fps(24);
@@ -120,6 +137,26 @@ int main() {
                 at60, at24);
     std::printf("  frame-rate adaptation recovers playback: %s\n",
                 at24 < at60 * 0.5 ? "YES" : "NO");
+  }
+
+  runner::JsonWriter json;
+  json.begin_object()
+      .field("bench", "table1_summary")
+      .field("runs_per_cell", runs)
+      .field("jobs", runner::resolve_jobs(jobs));
+  json.key("rows").begin_array();
+  for (const Row& r : g_rows) {
+    json.begin_object()
+        .field("what", r.what)
+        .field("paper", r.paper)
+        .field("measured", r.measured)
+        .field("unit", r.unit)
+        .end_object();
+  }
+  json.end_array().end_object();
+  const std::string path = runner::bench_json_path("table1_summary");
+  if (runner::write_file(path, json.str())) {
+    std::printf("\nmachine-readable: %s\n", path.c_str());
   }
   return 0;
 }

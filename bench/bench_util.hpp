@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "runner/video_batch.hpp"
 
 namespace mvqoe::bench {
 
@@ -52,6 +53,13 @@ inline int video_duration_s(int fallback = 60) {
   return fallback;
 }
 
+/// Worker threads for the sweep benches: --jobs N / --jobs=N on the
+/// command line, else MVQOE_JOBS, else every hardware thread. jobs == 1
+/// is the serial fallback (byte-identical per-run results by contract).
+inline int jobs_from_args(int argc, char** argv) {
+  return runner::jobs_from_args(argc, argv);
+}
+
 /// Shared sweep for the Fig 9/11/18/19 drop panels and Table 2/3 crash
 /// tables: device x platform x {resolutions} x {30,60} x pressure states.
 struct SweepSpec {
@@ -62,6 +70,10 @@ struct SweepSpec {
   std::vector<mem::PressureLevel> states = {mem::PressureLevel::Normal,
                                             mem::PressureLevel::Moderate,
                                             mem::PressureLevel::Critical};
+  /// Batch seed; per-cell seeds are derive_seed streams off this (the old
+  /// additive `1000 + height + fps + state*7` formula let distinct cells
+  /// alias to the same seed and correlate their runs).
+  std::uint64_t base_seed = 1000;
 };
 
 struct SweepCell {
@@ -71,24 +83,27 @@ struct SweepCell {
   qoe::RunAggregate aggregate;
 };
 
-inline std::vector<SweepCell> run_sweep(const SweepSpec& sweep, int runs, int duration_s) {
+/// Run the grid on the batch runner: (cell, run) tasks fan out across
+/// `jobs` workers, results reduce in deterministic grid/run order. When a
+/// json_name is given the cells are also dumped to BENCH_<json_name>.json.
+inline std::vector<SweepCell> run_sweep(const SweepSpec& sweep, int runs, int duration_s,
+                                        int jobs = 0, const char* json_name = nullptr) {
+  core::VideoRunSpec proto;
+  proto.device = sweep.device;
+  proto.platform = sweep.platform;
+  proto.asset = video::dubai_flow_motion(duration_s);
+  const auto grid = runner::run_sweep_grid(proto, sweep.states, sweep.fps, sweep.heights, runs,
+                                           jobs, sweep.base_seed);
+  if (json_name != nullptr) {
+    const std::string path =
+        runner::write_sweep_json(json_name, grid, runs, runner::resolve_jobs(jobs),
+                                 sweep.base_seed);
+    if (!path.empty()) std::printf("machine-readable: %s\n", path.c_str());
+  }
   std::vector<SweepCell> cells;
-  for (const auto state : sweep.states) {
-    for (const int fps : sweep.fps) {
-      for (const int height : sweep.heights) {
-        core::VideoRunSpec spec;
-        spec.device = sweep.device;
-        spec.platform = sweep.platform;
-        spec.height = height;
-        spec.fps = fps;
-        spec.pressure = state;
-        spec.asset = video::dubai_flow_motion(duration_s);
-        spec.seed = 1000 + height + fps + static_cast<int>(state) * 7;
-        SweepCell cell{height, fps, state, core::run_video_repeated(spec, runs)};
-        cells.push_back(std::move(cell));
-        std::fflush(stdout);
-      }
-    }
+  cells.reserve(grid.size());
+  for (const auto& cell : grid) {
+    cells.push_back(SweepCell{cell.height, cell.fps, cell.state, cell.aggregate});
   }
   return cells;
 }

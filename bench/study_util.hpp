@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "runner/batch.hpp"
 #include "study/analysis.hpp"
 
 namespace mvqoe::bench {
@@ -27,12 +28,23 @@ struct StudyData {
   std::vector<study::DeviceStudyResult> results;  // cleaned
 };
 
-inline StudyData run_scaled_study(int devices = 80, std::uint64_t seed = 42) {
+/// Each device is simulated with its own per-device seed, so the
+/// population fans out across the batch runner; results keep population
+/// order regardless of worker count (jobs == 1 is the serial reference).
+inline StudyData run_scaled_study(int devices = 80, std::uint64_t seed = 42, int jobs = 0) {
   StudyData data;
   data.population = study::generate_population(devices, seed);
   const double scale = study_scale();
   for (auto& device : data.population) device.interactive_hours *= scale;
-  data.results = study::clean(study::run_study(data.population, 1), 10.0 * scale);
+  auto batch = runner::run_batch(data.population.size(), jobs, [&data](std::size_t i) {
+    return study::simulate_device(data.population[i], 1);
+  });
+  std::vector<study::DeviceStudyResult> results;
+  results.reserve(batch.runs.size());
+  for (auto& slot : batch.runs) {
+    if (slot.ok) results.push_back(std::move(slot.value));
+  }
+  data.results = study::clean(std::move(results), 10.0 * scale);
   return data;
 }
 

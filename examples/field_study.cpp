@@ -2,22 +2,47 @@
 // (the paper's §3) and print each device's memory-pressure profile plus
 // the aggregate summary.
 //
-//   $ ./examples/field_study [devices] [hours_scale]
+//   $ ./examples/field_study [devices] [hours_scale] [--jobs N]
+//
+// Each device's observation window is an independent seeded simulation,
+// so the population fans out across the batch runner; the report prints
+// in population order whatever the worker count.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "runner/batch.hpp"
 #include "study/analysis.hpp"
 
 int main(int argc, char** argv) {
   using namespace mvqoe;
-  const int devices = argc > 1 ? std::atoi(argv[1]) : 12;
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.15;
+  int devices = 12;
+  double scale = 0.15;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs", 6) == 0) {
+      if (std::strcmp(argv[i], "--jobs") == 0) ++i;  // value consumed by jobs_from_args
+      continue;
+    }
+    if (positional == 0) devices = std::atoi(argv[i]);
+    if (positional == 1) scale = std::atof(argv[i]);
+    ++positional;
+  }
+  const int jobs = runner::jobs_from_args(argc, argv);
 
   auto population = study::generate_population(devices, 42);
   for (auto& device : population) device.interactive_hours *= scale;
 
-  std::printf("simulating %d devices (interactive hours scaled by %.2f)...\n\n", devices, scale);
-  const auto results = study::run_study(population, 1);
+  std::printf("simulating %d devices (interactive hours scaled by %.2f, %d worker%s)...\n\n",
+              devices, scale, jobs, jobs == 1 ? "" : "s");
+  const auto batch = runner::run_batch(population.size(), jobs, [&population](std::size_t i) {
+    return study::simulate_device(population[i], 1);
+  });
+  std::vector<study::DeviceStudyResult> results;
+  results.reserve(batch.runs.size());
+  for (const auto& slot : batch.runs) {
+    if (slot.ok) results.push_back(slot.value);
+  }
 
   std::printf("%-4s %-10s %5s %7s %7s  %9s %9s %9s  %8s\n", "#", "vendor", "RAM", "hours",
               "util%", "mod/h", "low/h", "crit/h", "%pressed");

@@ -1,0 +1,33 @@
+#include "runner/batch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mvqoe::runner {
+
+int resolve_jobs(int requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MVQOE_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int jobs_from_args(int argc, char** argv, int requested) noexcept {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n > 0) return n;
+    }
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      const int n = std::atoi(arg + 7);
+      if (n > 0) return n;
+    }
+  }
+  return resolve_jobs(requested);
+}
+
+}  // namespace mvqoe::runner

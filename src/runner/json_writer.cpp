@@ -1,0 +1,161 @@
+#include "runner/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mvqoe::runner {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes "key": — no comma
+  }
+  if (first_in_scope_.empty()) return;
+  if (first_in_scope_.back()) {
+    first_in_scope_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma();
+  append_escaped(name);
+  out_ += ':';
+  // The next value completes this key: it must not emit its own comma.
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  append_escaped(v);
+  return *this;
+}
+
+void JsonWriter::append_escaped(std::string_view v) {
+  out_ += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+void write_mean_ci(JsonWriter& w, const stats::MeanCi& m) {
+  w.begin_object()
+      .field("mean", m.mean)
+      .field("ci95", m.ci95)
+      .field("min", m.min)
+      .field("max", m.max)
+      .field("n", m.n)
+      .end_object();
+}
+
+void write_histogram(JsonWriter& w, const stats::Histogram& h) {
+  w.begin_object();
+  if (h.bin_count() > 0) {
+    w.field("lo", h.bin_low(0)).field("hi", h.bin_high(h.bin_count() - 1));
+  }
+  w.key("counts").begin_array();
+  for (std::size_t b = 0; b < h.bin_count(); ++b) w.value(h.count(b));
+  w.end_array().end_object();
+}
+
+std::string bench_json_path(std::string_view bench_name) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("MVQOE_JSON_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  return dir + "/BENCH_" + std::string(bench_name) + ".json";
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != content.size() || !flushed) {
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mvqoe::runner

@@ -1,0 +1,67 @@
+// Minimal JSON emitter for the machine-readable bench outputs
+// (BENCH_<name>.json). No external dependency: a comma-tracking builder
+// plus helpers for the stats types the benches aggregate with. Doubles
+// round-trip (%.17g); NaN/Inf degrade to null so the files stay valid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace mvqoe::runner {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+  void append_escaped(std::string_view v);
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// {"mean":..,"ci95":..,"min":..,"max":..,"n":..}
+void write_mean_ci(JsonWriter& w, const stats::MeanCi& m);
+
+/// {"lo":..,"hi":..,"counts":[..]}
+void write_histogram(JsonWriter& w, const stats::Histogram& h);
+
+/// Path for a bench output file: "<MVQOE_JSON_DIR or .>/BENCH_<name>.json".
+std::string bench_json_path(std::string_view bench_name);
+
+/// Write `content` to `path`; returns false (and leaves no partial file
+/// behind) on I/O failure.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace mvqoe::runner

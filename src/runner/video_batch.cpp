@@ -1,0 +1,149 @@
+#include "runner/video_batch.hpp"
+
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+
+namespace mvqoe::runner {
+
+std::uint64_t sweep_cell_seed(std::uint64_t base, int height, int fps,
+                              mem::PressureLevel state) noexcept {
+  // One derive_seed stream per coordinate level. Offsets keep the streams
+  // off the small integers used for run indices (derive_seed(base, i+1)).
+  std::uint64_t seed = stats::derive_seed(base, 0x5157454550ULL /* "SWEEP" */);
+  seed = stats::derive_seed(seed, static_cast<std::uint64_t>(height));
+  seed = stats::derive_seed(seed, static_cast<std::uint64_t>(fps));
+  seed = stats::derive_seed(seed, static_cast<std::uint64_t>(state) + 1);
+  return seed;
+}
+
+VideoBatch run_video_batch(const core::VideoRunSpec& spec, int runs, int jobs) {
+  VideoBatch batch;
+  if (runs <= 0) return batch;
+  const std::uint64_t base_seed = spec.seed;
+  auto result = run_batch(static_cast<std::size_t>(runs), jobs, [&spec, base_seed](std::size_t i) {
+    core::VideoRunSpec run_spec = spec;
+    // Same stream derivation as core::run_video_repeated: the serial
+    // helper, the serial fallback, and the parallel path all see run i
+    // with the identical seed.
+    run_spec.seed = stats::derive_seed(base_seed, static_cast<std::uint64_t>(i) + 1);
+    return core::run_video(run_spec);
+  });
+  batch.jobs_used = result.jobs_used;
+  batch.failures = result.failures;
+  for (const auto& slot : result.runs) {
+    if (slot.ok) batch.aggregate.add(slot.value.outcome);
+  }
+  batch.runs = std::move(result.runs);
+  return batch;
+}
+
+std::vector<SweepCellResult> run_sweep_grid(const core::VideoRunSpec& proto,
+                                            const std::vector<mem::PressureLevel>& states,
+                                            const std::vector<int>& fps,
+                                            const std::vector<int>& heights, int runs, int jobs,
+                                            std::uint64_t base_seed) {
+  std::vector<SweepCellResult> cells;
+  if (runs <= 0) return cells;
+  for (const auto state : states) {
+    for (const int f : fps) {
+      for (const int h : heights) {
+        SweepCellResult cell;
+        cell.height = h;
+        cell.fps = f;
+        cell.state = state;
+        cell.cell_seed = sweep_cell_seed(base_seed, h, f, state);
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  // Flatten to (cell, run) tasks so parallelism spans the whole grid, not
+  // just the runs of one cell at a time.
+  const std::size_t total = cells.size() * static_cast<std::size_t>(runs);
+  auto result = run_batch(total, jobs, [&](std::size_t task) {
+    const SweepCellResult& cell = cells[task / static_cast<std::size_t>(runs)];
+    const std::size_t run_index = task % static_cast<std::size_t>(runs);
+    core::VideoRunSpec spec = proto;
+    spec.height = cell.height;
+    spec.fps = cell.fps;
+    spec.pressure = cell.state;
+    spec.seed = stats::derive_seed(cell.cell_seed, run_index + 1);
+    return core::run_video(spec);
+  });
+
+  // Deterministic reduction: tasks are laid out cell-major, so walking
+  // the slots in index order rebuilds each cell's runs in run order.
+  for (std::size_t task = 0; task < result.runs.size(); ++task) {
+    SweepCellResult& cell = cells[task / static_cast<std::size_t>(runs)];
+    const auto& slot = result.runs[task];
+    if (slot.ok) {
+      cell.aggregate.add(slot.value.outcome);
+    } else {
+      ++cell.failures;
+    }
+  }
+  return cells;
+}
+
+void write_run_outcome(JsonWriter& w, const qoe::RunOutcome& outcome) {
+  w.begin_object()
+      .field("drop_rate", outcome.drop_rate)
+      .field("crashed", outcome.crashed)
+      .field("aborted", outcome.aborted)
+      .field("mean_pss_mb", outcome.mean_pss_mb)
+      .field("peak_pss_mb", outcome.peak_pss_mb)
+      .field("startup_delay_s", outcome.startup_delay_s)
+      .field("relaunches", outcome.relaunches)
+      .field("rebuffer_events", outcome.rebuffer_events)
+      .field("relaunch_downtime_s", outcome.relaunch_downtime_s)
+      .end_object();
+}
+
+std::string write_sweep_json(std::string_view bench_name,
+                             const std::vector<SweepCellResult>& cells, int runs, int jobs_used,
+                             std::uint64_t base_seed) {
+  JsonWriter w;
+  w.begin_object()
+      .field("bench", bench_name)
+      .field("base_seed", base_seed)
+      .field("runs_per_cell", runs)
+      .field("jobs", jobs_used);
+
+  // Histogram rollup of all per-run drop rates across the grid.
+  stats::Histogram drops(0.0, 1.0, 20);
+  w.key("cells").begin_array();
+  for (const SweepCellResult& cell : cells) {
+    w.begin_object()
+        .field("height", cell.height)
+        .field("fps", cell.fps)
+        .field("state", mem::to_string(cell.state))
+        .field("cell_seed", cell.cell_seed)
+        .field("failures", cell.failures)
+        .field("crash_rate_percent", cell.aggregate.crash_rate_percent())
+        .field("relaunch_rate_percent", cell.aggregate.relaunch_rate_percent());
+    w.key("drop_rate");
+    write_mean_ci(w, cell.aggregate.drop_rate());
+    w.key("drop_rate_completed");
+    write_mean_ci(w, cell.aggregate.drop_rate_completed());
+    w.key("rebuffer_events");
+    write_mean_ci(w, cell.aggregate.rebuffer_events());
+    w.key("mean_pss_mb");
+    write_mean_ci(w, cell.aggregate.mean_pss_mb());
+    w.key("runs").begin_array();
+    for (const qoe::RunOutcome& outcome : cell.aggregate.outcomes()) {
+      write_run_outcome(w, outcome);
+      drops.add(outcome.drop_rate);
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+  w.key("drop_rate_histogram");
+  write_histogram(w, drops);
+  w.end_object();
+
+  const std::string path = bench_json_path(bench_name);
+  if (!write_file(path, w.str())) return "";
+  return path;
+}
+
+}  // namespace mvqoe::runner

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace mvqoe::sim {
@@ -7,7 +8,8 @@ namespace mvqoe::sim {
 EventId Engine::schedule_at(Time t, Callback fn) {
   if (t < now_) t = now_;
   const EventId id = next_seq_;
-  heap_.push(Entry{t, next_seq_, id});
+  heap_.push_back(Entry{t, next_seq_, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++next_seq_;
   callbacks_.emplace(id, std::move(fn));
   return id;
@@ -23,13 +25,27 @@ bool Engine::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   cancelled_.insert(id);
+  maybe_compact();
   return true;
+}
+
+void Engine::maybe_compact() {
+  // A scheduler that parks far-future timers and cancels them long before
+  // they mature would otherwise grow the heap until the clock catches up.
+  if (heap_.size() < kCompactMinEntries || cancelled_.size() * 2 <= heap_.size()) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return cancelled_.count(e.id) != 0; }),
+              heap_.end());
+  heap_.shrink_to_fit();
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
 }
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     const auto cancelled = cancelled_.find(top.id);
     if (cancelled != cancelled_.end()) {
       cancelled_.erase(cancelled);
@@ -65,9 +81,10 @@ bool Engine::check_invariants() const noexcept {
 void Engine::run_until(Time t) {
   while (!heap_.empty()) {
     // Skip over cancelled entries without advancing the clock.
-    const Entry top = heap_.top();
+    const Entry top = heap_.front();
     if (cancelled_.count(top.id) != 0) {
-      heap_.pop();
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
       cancelled_.erase(top.id);
       continue;
     }
@@ -82,25 +99,44 @@ void Engine::run() {
   }
 }
 
+// The chain of scheduled fire() events owns this block via shared_ptr, so
+// the callable keeps living through its own invocation even if the user
+// destroys the PeriodicTask from inside fn (self-destruction), and stop()
+// /start() from inside fn operate on the same pending id the chain uses.
+struct PeriodicTask::State {
+  State(Engine& eng, Time per, Engine::Callback callback)
+      : engine(eng), period(per), fn(std::move(callback)) {}
+  Engine& engine;
+  Time period;
+  Engine::Callback fn;
+  EventId pending = kInvalidEvent;
+};
+
 PeriodicTask::PeriodicTask(Engine& engine, Time period, Engine::Callback fn)
-    : engine_(engine), period_(period > 0 ? period : 1), fn_(std::move(fn)) {}
+    : state_(std::make_shared<State>(engine, period > 0 ? period : 1, std::move(fn))) {}
 
 PeriodicTask::~PeriodicTask() { stop(); }
 
+bool PeriodicTask::running() const noexcept { return state_->pending != kInvalidEvent; }
+
 void PeriodicTask::start() {
-  if (pending_ != kInvalidEvent) return;
-  pending_ = engine_.schedule(period_, [this] { fire(); });
+  if (state_->pending != kInvalidEvent) return;
+  std::shared_ptr<State> state = state_;
+  state_->pending = state_->engine.schedule(state_->period, [state] { fire(state); });
 }
 
 void PeriodicTask::stop() {
-  if (pending_ == kInvalidEvent) return;
-  engine_.cancel(pending_);
-  pending_ = kInvalidEvent;
+  if (state_->pending == kInvalidEvent) return;
+  state_->engine.cancel(state_->pending);
+  state_->pending = kInvalidEvent;
 }
 
-void PeriodicTask::fire() {
-  pending_ = engine_.schedule(period_, [this] { fire(); });
-  fn_();
+void PeriodicTask::fire(const std::shared_ptr<State>& state) {
+  // Reschedule before running fn so the callback observes running() and
+  // can stop()/restart the chain; fn may also delete the owning task —
+  // `state` on this stack frame keeps the callable alive through the call.
+  state->pending = state->engine.schedule(state->period, [state] { fire(state); });
+  state->fn();
 }
 
 }  // namespace mvqoe::sim

@@ -5,11 +5,17 @@
 // engine dispatches them in time order (FIFO among same-time events, so
 // the simulation is fully deterministic). Events can be cancelled by id —
 // the scheduler uses this heavily for timeslice expiry and sleep timers.
+//
+// Cancellation is lazy (the heap entry stays until it is popped or the
+// heap is compacted), but bounded: once cancelled entries outnumber live
+// ones the heap is rebuilt without them, so a workload that schedules and
+// cancels far-future timers forever holds O(live events) memory instead
+// of growing until the clock reaches the dead entries.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -50,6 +56,11 @@ class Engine {
 
   std::size_t pending_events() const noexcept { return heap_.size() - cancelled_.size(); }
 
+  /// Heap entries actually held, including lazily-cancelled ones waiting
+  /// to be compacted away — the memory-bound observable the compaction
+  /// tests assert on. Always < 2 * pending_events() + kCompactMinEntries.
+  std::size_t queued_entries() const noexcept { return heap_.size(); }
+
   /// Total events dispatched since construction (cancelled entries do not
   /// count). Watchdogs use this to detect livelock-free progress.
   std::uint64_t dispatched() const noexcept { return dispatched_; }
@@ -78,6 +89,14 @@ class Engine {
     }
   };
 
+  /// Below this size lazy cancellation is cheaper than rebuilding.
+  static constexpr std::size_t kCompactMinEntries = 64;
+
+  /// Rebuild the heap without the cancelled entries once they dominate.
+  /// (time, seq) ordering is carried by the entries themselves, so the
+  /// rebuild cannot reorder dispatch.
+  void maybe_compact();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
@@ -85,13 +104,20 @@ class Engine {
   std::uint64_t livelock_trips_ = 0;
   std::uint64_t same_time_run_ = 0;
   Time last_dispatch_time_ = -1;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Binary heap ordered by Later (std::push_heap/pop_heap), kept as a
+  /// plain vector so maybe_compact() can filter it in place.
+  std::vector<Entry> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::unordered_set<EventId> cancelled_;
 };
 
 /// Repeats a callback at a fixed period until stopped. Used for periodic
 /// samplers (vmstat/PSS logging, lmkd pressure polling, vsync).
+///
+/// The callback may re-enter the task: stop(), stop()+start(), and even
+/// destroying the PeriodicTask itself from inside the callback are safe.
+/// The schedule chain owns a shared state block that outlives the task,
+/// so a mid-callback destruction never frees the callable being run.
 class PeriodicTask {
  public:
   PeriodicTask(Engine& engine, Time period, Engine::Callback fn);
@@ -102,15 +128,13 @@ class PeriodicTask {
 
   void start();
   void stop();
-  bool running() const noexcept { return pending_ != kInvalidEvent; }
+  bool running() const noexcept;
 
  private:
-  void fire();
+  struct State;
+  static void fire(const std::shared_ptr<State>& state);
 
-  Engine& engine_;
-  Time period_;
-  Engine::Callback fn_;
-  EventId pending_ = kInvalidEvent;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace mvqoe::sim

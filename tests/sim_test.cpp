@@ -246,5 +246,136 @@ TEST(PeriodicTask, CanStopItselfFromCallback) {
   EXPECT_EQ(fires, 3);
 }
 
+// Regression: cancelled far-future entries must not accumulate. A
+// scheduler that parks 100k timers way out and cancels them all used to
+// hold every entry until the clock reached it; compaction keeps the
+// stored heap proportional to the live set.
+TEST(Engine, CancelledFarFutureTimersAreCompacted) {
+  Engine engine;
+  std::size_t peak = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = engine.schedule_at(hours(24) + sec(i), [] {});
+    EXPECT_TRUE(engine.cancel(id));
+    peak = std::max(peak, engine.queued_entries());
+  }
+  EXPECT_TRUE(engine.check_invariants());
+  EXPECT_EQ(engine.pending_events(), 0u);
+  // One live-entry-free heap never grows past the compaction floor.
+  EXPECT_LT(peak, 256u);
+  EXPECT_LT(engine.queued_entries(), 256u);
+}
+
+TEST(Engine, BulkCancelCompactsWithLiveEventsPresent) {
+  Engine engine;
+  int fired = 0;
+  // 1k live near-term events interleaved with 100k far-future cancels.
+  for (int i = 0; i < 1000; ++i) {
+    engine.schedule_at(msec(i), [&] { ++fired; });
+  }
+  std::vector<EventId> doomed;
+  doomed.reserve(100'000);
+  for (int i = 0; i < 100'000; ++i) {
+    doomed.push_back(engine.schedule_at(hours(48) + sec(i), [] {}));
+  }
+  for (const EventId id : doomed) engine.cancel(id);
+  EXPECT_TRUE(engine.check_invariants());
+  EXPECT_EQ(engine.pending_events(), 1000u);
+  // Compaction bound: heap never holds more cancelled than live + floor.
+  EXPECT_LE(engine.queued_entries(), 2u * engine.pending_events() + 64u);
+  engine.run();
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(engine.queued_entries(), 0u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(Engine, CompactionPreservesTimeSeqDispatchOrder) {
+  Engine engine;
+  std::vector<int> order;
+  // Same-time group whose FIFO order must survive a mid-stream rebuild.
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_at(sec(2), [&order, i] { order.push_back(i); });
+  }
+  // Trigger compaction between the scheduling and the dispatch.
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 5000; ++i) doomed.push_back(engine.schedule_at(hours(1), [] {}));
+  for (const EventId id : doomed) engine.cancel(id);
+  EXPECT_TRUE(engine.check_invariants());
+  engine.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+// Regression: stopping from inside the callback and restarting in the
+// same invocation must yield exactly one fresh chain (no lost or doubled
+// fires).
+TEST(PeriodicTask, RestartFromInsideCallback) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, sec(1), [&] {
+    ++fires;
+    if (fires == 2) {
+      task.stop();
+      EXPECT_FALSE(task.running());
+      task.start();
+      EXPECT_TRUE(task.running());
+    }
+  });
+  task.start();
+  engine.run_until(sec(6));
+  // Fires at 1s..6s: the in-callback restart keeps the same cadence.
+  EXPECT_EQ(fires, 6);
+  task.stop();
+  engine.run_until(sec(20));
+  EXPECT_EQ(fires, 6);
+}
+
+TEST(PeriodicTask, StopDuringFireCancelsRescheduledChain) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, msec(10), [&] {
+    ++fires;
+    task.stop();
+  });
+  task.start();
+  engine.run_until(sec(1));
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(task.running());
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+// Regression: destroying the task from inside its own callback used to
+// destroy the std::function mid-invocation (UB); the shared state block
+// now outlives the call.
+TEST(PeriodicTask, SelfDestructionFromCallbackIsSafe) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask* task = nullptr;
+  task = new PeriodicTask(engine, msec(10), [&] {
+    ++fires;
+    delete task;
+    task = nullptr;
+  });
+  task->start();
+  engine.run_until(sec(1));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(task, nullptr);
+  // The destructor cancelled the rescheduled fire: nothing left pending.
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(PeriodicTask, DestructionOutsideCallbackStillCancels) {
+  Engine engine;
+  int fires = 0;
+  {
+    PeriodicTask task(engine, sec(1), [&] { ++fires; });
+    task.start();
+    engine.run_until(sec(2));
+  }
+  engine.run_until(sec(10));
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
 }  // namespace
 }  // namespace mvqoe::sim
