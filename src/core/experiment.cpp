@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/system_activity.hpp"
+#include "snapshot/digest.hpp"
 #include "stats/rng.hpp"
 
 namespace mvqoe::core {
@@ -17,7 +19,7 @@ const char* to_string(RunStatus status) noexcept {
 }
 
 VideoExperiment::VideoExperiment(VideoRunSpec spec) : spec_(std::move(spec)) {
-  testbed_ = std::make_unique<Testbed>(spec_.device, spec_.seed);
+  testbed_ = std::make_unique<Testbed>(spec_.device, spec_.world_seed.value_or(spec_.seed));
 }
 
 VideoExperiment::~VideoExperiment() = default;
@@ -27,13 +29,22 @@ sim::Time VideoExperiment::playback_start() const noexcept {
 }
 
 VideoRunResult VideoExperiment::run() {
+  prepare();
+  start_video();
+  while (advance_slice()) {
+  }
+  return finalize();
+}
+
+void VideoExperiment::prepare() {
+  if (prepared_) return;
+  prepared_ = true;
   Testbed& tb = *testbed_;
   tb.boot();
 
   // Apply pressure before starting the video (§4.1: "we start the video
   // streaming session after the targeted memory pressure signal is
   // received").
-  mem::PressureLevel start_level = mem::PressureLevel::Normal;
   if (spec_.organic_background_apps > 0) {
     // Half the opened apps keep working in the background (music,
     // messengers syncing, feeds refreshing): they hold part of their
@@ -73,11 +84,11 @@ VideoRunResult VideoExperiment::run() {
         tb.memory.set_hot_pages(pid, app.heap_pages / 3);
         tb.add_background_duty(pid);
       }
-      start_level = std::max(start_level, tb.memory.level());
+      start_level_ = std::max(start_level_, tb.memory.level());
     }
     // All opened apps end up in the background once the player launches.
     tb.engine.run_until(tb.engine.now() + sim::sec(1));
-    start_level = std::max(start_level, tb.memory.level());
+    start_level_ = std::max(start_level_, tb.memory.level());
   } else {
     inducer_ = std::make_unique<PressureInducer>(tb, spec_.pressure);
     // Shared flags: the signal callback may fire after this wait loop
@@ -95,8 +106,21 @@ VideoRunResult VideoExperiment::run() {
     while (!*reached && tb.engine.now() < deadline) {
       tb.engine.run_until(tb.engine.now() + sim::msec(200));
     }
-    start_level = *level_at_signal;
+    start_level_ = *level_at_signal;
   }
+}
+
+void VideoExperiment::set_cell(int height, int fps, std::uint64_t video_seed) {
+  spec_.height = height;
+  spec_.fps = fps;
+  spec_.seed = video_seed;
+}
+
+void VideoExperiment::start_video() {
+  if (!prepared_) prepare();
+  if (video_started_) return;
+  video_started_ = true;
+  Testbed& tb = *testbed_;
 
   video::SessionConfig config = spec_.session_override.value_or(video::SessionConfig{});
   if (!spec_.session_override.has_value()) {
@@ -110,9 +134,9 @@ VideoRunResult VideoExperiment::run() {
   if (!config.next_pid) {
     config.next_pid = [&tb] { return tb.am.next_pid(); };
   }
+  config_ = config;
 
-  VideoRunResult result;
-  result.start_level = std::max(start_level, tb.memory.level());
+  start_level_ = std::max(start_level_, tb.memory.level());
 
   if (spec_.run_watchdog) {
     watchdog_ = std::make_unique<fault::InvariantWatchdog>(tb.engine, fault::WatchdogConfig{},
@@ -121,9 +145,8 @@ VideoRunResult VideoExperiment::run() {
   }
 
   session_ = std::make_unique<video::VideoSession>(tb.engine, tb.scheduler, tb.memory, tb.link,
-                                                   tb.tracer, config, spec_.abr);
-  bool finished = false;
-  const sim::Time video_start = tb.engine.now();
+                                                   tb.tracer, config_, spec_.abr);
+  video_start_ = tb.engine.now();
 
   if (!spec_.fault_plan.empty()) {
     fault::FaultTargets targets;
@@ -135,18 +158,30 @@ VideoRunResult VideoExperiment::run() {
     targets.tracer = &tb.tracer;
     injector_ = std::make_unique<fault::FaultInjector>(targets, spec_.fault_plan);
     injector_->set_kill_target([this] { return session_->pid(); });
-    injector_->arm(video_start);
+    injector_->arm(video_start_);
   }
 
-  session_->start(tb.am.next_pid(), [&finished] { finished = true; });
+  session_->start(tb.am.next_pid(), [this] { finished_ = true; });
 
   // Horizon: generous multiple of the video duration; a session that
   // cannot finish by then was unplayable.
-  const sim::Time horizon =
-      video_start + sim::sec(config.asset.duration_s * 3) + sim::minutes(2);
-  while (!finished && tb.engine.now() < horizon) {
-    tb.engine.run_until(tb.engine.now() + sim::sec(1));
-  }
+  horizon_ = video_start_ + sim::sec(config_.asset.duration_s * 3) + sim::minutes(2);
+}
+
+bool VideoExperiment::video_done() const noexcept {
+  return finished_ || testbed_->engine.now() >= horizon_;
+}
+
+bool VideoExperiment::advance_slice() {
+  if (video_done()) return false;
+  testbed_->engine.run_until(testbed_->engine.now() + sim::sec(1));
+  return true;
+}
+
+VideoRunResult VideoExperiment::finalize() {
+  Testbed& tb = *testbed_;
+  VideoRunResult result;
+  result.start_level = start_level_;
   if (injector_ != nullptr) injector_->disarm();
   if (watchdog_ != nullptr) {
     watchdog_->check_now();
@@ -162,7 +197,7 @@ VideoRunResult VideoExperiment::run() {
   } else if (result.metrics.aborted) {
     result.status = RunStatus::Aborted;
     result.failure_reason = result.metrics.abort_reason;
-  } else if (!finished) {
+  } else if (!finished_) {
     result.status = RunStatus::TimedOut;
     result.failure_reason = "session did not finish within the run horizon";
   }
@@ -172,19 +207,19 @@ VideoRunResult VideoExperiment::run() {
   outcome.relaunches = result.metrics.relaunches;
   outcome.rebuffer_events = result.metrics.rebuffer_events;
   outcome.relaunch_downtime_s = sim::to_seconds(result.metrics.relaunch_downtime);
-  if (!finished && !result.metrics.crashed) {
+  if (!finished_ && !result.metrics.crashed) {
     // Unplayable without a kill (starved forever): classify every frame
     // that never got presented as dropped (paper: "the video was either
     // unplayable or the video client crashed").
-    const auto planned = static_cast<std::int64_t>(config.asset.duration_s) *
-                         config.initial_rung.fps;
+    const auto planned = static_cast<std::int64_t>(config_.asset.duration_s) *
+                         config_.initial_rung.fps;
     result.metrics.frames_dropped =
         std::max(result.metrics.frames_dropped, planned - result.metrics.frames_presented);
   }
   outcome.drop_rate = result.metrics.drop_rate();
   if (result.metrics.crashed &&
       result.metrics.frames_presented + result.metrics.frames_dropped <
-          config.initial_rung.fps) {
+          config_.initial_rung.fps) {
     // Killed before a single second played: unplayable (paper: "the
     // video was either unplayable or the video client crashed").
     outcome.drop_rate = 1.0;
@@ -192,9 +227,50 @@ VideoRunResult VideoExperiment::run() {
   outcome.mean_pss_mb = result.metrics.pss_mb.mean();
   outcome.peak_pss_mb = result.metrics.pss_mb.empty() ? 0.0 : result.metrics.pss_mb.max();
   if (result.metrics.playback_start >= 0) {
-    outcome.startup_delay_s = sim::to_seconds(result.metrics.playback_start - video_start);
+    outcome.startup_delay_s = sim::to_seconds(result.metrics.playback_start - video_start_);
   }
   return result;
+}
+
+void VideoExperiment::save_state(snapshot::Snapshot& snap) const {
+  const Testbed& tb = *testbed_;
+  const auto put = [&snap](const char (&t)[5], const auto& subsystem) {
+    snapshot::ByteWriter w;
+    subsystem.save(w);
+    snap.put(snapshot::tag(t), std::move(w));
+  };
+  put("ENGN", tb.engine);
+  put("SCHD", tb.scheduler);
+  put("MEMM", tb.memory);
+  put("LINK", tb.link);
+  put("STOR", tb.storage);
+  put("PROC", tb.am);
+  if (session_ != nullptr) put("VIDE", *session_);
+  if (injector_ != nullptr) put("FALT", *injector_);
+  if (tb.system_activity() != nullptr) put("SYSA", *tb.system_activity());
+  if (inducer_ != nullptr) put("INDC", *inducer_);
+}
+
+std::uint64_t VideoExperiment::state_digest() const {
+  snapshot::Snapshot snap;
+  save_state(snap);
+  return snap.digest();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> VideoExperiment::subsystem_digests() const {
+  const Testbed& tb = *testbed_;
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.emplace_back("engine", tb.engine.digest());
+  out.emplace_back("sched", tb.scheduler.digest());
+  out.emplace_back("mem", tb.memory.digest());
+  out.emplace_back("link", tb.link.digest());
+  out.emplace_back("storage", tb.storage.digest());
+  out.emplace_back("proc", tb.am.digest());
+  if (session_ != nullptr) out.emplace_back("video", session_->digest());
+  if (injector_ != nullptr) out.emplace_back("fault", injector_->digest());
+  if (tb.system_activity() != nullptr) out.emplace_back("sysact", tb.system_activity()->digest());
+  if (inducer_ != nullptr) out.emplace_back("inducer", inducer_->digest());
+  return out;
 }
 
 VideoRunResult run_video(const VideoRunSpec& spec) { return VideoExperiment(spec).run(); }

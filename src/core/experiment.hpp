@@ -14,6 +14,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
 #include "qoe/metrics.hpp"
+#include "snapshot/blob.hpp"
 #include "video/session.hpp"
 
 namespace mvqoe::core {
@@ -31,6 +32,12 @@ struct VideoRunSpec {
   /// before launching the player (§4.3).
   int organic_background_apps = 0;
   std::uint64_t seed = 1;
+  /// World (boot + pressure-inducement) seed, when it must differ from
+  /// the per-run seed: warm-start sweeps pre-roll one world per
+  /// (state, rep) group and fork many video cells from it, so every cell
+  /// of a group shares the world stream while its video stream (`seed`)
+  /// varies. Unset = world follows `seed` (the plain single-run path).
+  std::optional<std::uint64_t> world_seed;
   /// ABR policy; null = fixed rung (the controlled sweeps).
   video::AbrPolicy* abr = nullptr;
   /// Override the session defaults when set.
@@ -75,15 +82,53 @@ class VideoExperiment {
   ~VideoExperiment();
 
   /// Boot, apply pressure, play the video to completion (or crash), and
-  /// finalize the trace. Returns the aggregated result.
+  /// finalize the trace. Returns the aggregated result. Exactly
+  /// equivalent to prepare() + start_video() + advance_slice() to
+  /// completion + finalize() — the phased API below exists so the
+  /// snapshot/replay driver and the warm-start sweep path can interleave
+  /// digest sampling / cell retargeting with the same event sequence.
   VideoRunResult run();
 
+  // --- Phased execution (checkpoint/replay + warm-start surface) ---------
+  /// Phase 1: boot the testbed and apply the pressure regime (organic or
+  /// MP-Simulator style). Ends at the quiescent point right before the
+  /// session is built — the warm-start fork boundary.
+  void prepare();
+  /// Retarget the video cell between prepare() and start_video(): the
+  /// warm path forks one prepared world for many (height, fps) cells,
+  /// each with its own video seed.
+  void set_cell(int height, int fps, std::uint64_t video_seed);
+  /// Phase 2: build the session config, arm faults/watchdog and start
+  /// the session. Playback deadlines begin here.
+  void start_video();
+  /// Phase 3: advance playback by one 1-second slice (the exact cadence
+  /// run() uses — slice boundaries are observable through the horizon
+  /// check, so replay must reproduce them). Returns false when the video
+  /// finished or the horizon passed, without advancing.
+  bool advance_slice();
+  bool video_done() const noexcept;
+  /// Phase 4: disarm faults, finalize the trace and assemble the result.
+  VideoRunResult finalize();
+
+  // --- Snapshot surface ---------------------------------------------------
+  /// Serialize every subsystem into tagged sections of `snap`.
+  void save_state(snapshot::Snapshot& snap) const;
+  /// Canonical digest over all subsystem save() bytes.
+  std::uint64_t state_digest() const;
+  /// Per-subsystem (tag name, digest) pairs, in a fixed order — the
+  /// bisection report uses these to name the first diverging subsystem.
+  std::vector<std::pair<std::string, std::uint64_t>> subsystem_digests() const;
+
   Testbed& testbed() noexcept { return *testbed_; }
+  const Testbed& testbed() const noexcept { return *testbed_; }
   video::VideoSession& session() noexcept { return *session_; }
   /// Non-null while a fault plan is active (after run() started it).
   fault::FaultInjector* injector() noexcept { return injector_.get(); }
   /// Simulated time at which playback (frame deadlines) began.
   sim::Time playback_start() const noexcept;
+  /// Simulated time start_video() ran at (-1 before then).
+  sim::Time video_start() const noexcept { return video_start_; }
+  sim::Time horizon() const noexcept { return horizon_; }
 
  private:
   VideoRunSpec spec_;
@@ -92,6 +137,14 @@ class VideoExperiment {
   std::unique_ptr<video::VideoSession> session_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::InvariantWatchdog> watchdog_;
+
+  bool prepared_ = false;
+  bool video_started_ = false;
+  bool finished_ = false;
+  mem::PressureLevel start_level_ = mem::PressureLevel::Normal;
+  video::SessionConfig config_;
+  sim::Time video_start_ = -1;
+  sim::Time horizon_ = -1;
 };
 
 /// Convenience single run.

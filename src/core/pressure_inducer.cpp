@@ -1,5 +1,7 @@
 #include "core/pressure_inducer.hpp"
 
+#include "snapshot/digest.hpp"
+
 namespace mvqoe::core {
 
 namespace {
@@ -130,5 +132,19 @@ void PressureInducer::stop() {
   }
   held_ = 0;
 }
+
+void PressureInducer::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.u8(static_cast<std::uint8_t>(target_));
+  w.u32(pid_);
+  w.u64(tid_);
+  w.b(running_);
+  w.b(reached_);
+  w.i64(held_);
+  w.i64(held_at_reached_);
+  w.i64(cap_);
+}
+
+std::uint64_t PressureInducer::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::core

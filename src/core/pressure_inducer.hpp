@@ -34,6 +34,10 @@ class PressureInducer {
   bool reached() const noexcept { return reached_; }
   mem::Pages held_pages() const noexcept { return held_; }
 
+  /// Serialize allocation progress (held pages, reached flag, cap).
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   void step();
   mem::Pages target_available() const;

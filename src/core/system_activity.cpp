@@ -1,5 +1,8 @@
 #include "core/system_activity.hpp"
 
+#include "snapshot/digest.hpp"
+#include "snapshot/rng_io.hpp"
+
 namespace mvqoe::core {
 
 SystemActivity::SystemActivity(Testbed& testbed, SystemActivityConfig config)
@@ -81,5 +84,19 @@ void SystemActivity::loop(std::size_t index) {
         });
   });
 }
+
+void SystemActivity::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.b(running_);
+  snapshot::write_rng(w, rng_);
+  w.u64(duties_.size());
+  for (const Duty& duty : duties_) {
+    w.u32(duty.pid);
+    w.u64(duty.tid);
+    w.i64(duty.period);
+  }
+}
+
+std::uint64_t SystemActivity::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::core

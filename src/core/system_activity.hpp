@@ -43,6 +43,15 @@ class SystemActivity {
   /// sync, feed refresh). Callable after start().
   void add_process(mem::ProcessId pid, sim::Time period = sim::msec(500));
 
+  /// The duty-jitter RNG stream. Exposed for checkpointing and for the
+  /// replay tool's bisection self-test, which flips one bit of this
+  /// stream to create a minimal controlled divergence.
+  stats::Rng& rng() noexcept { return rng_; }
+
+  /// Serialize duty-loop composition and the jitter RNG stream.
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   struct Duty {
     mem::ProcessId pid = 0;

@@ -39,6 +39,11 @@ class Testbed {
   /// after boot().
   void add_background_duty(mem::ProcessId pid, sim::Time period = sim::msec(500));
 
+  /// The ambient system-activity driver; null before boot(). Exposed for
+  /// checkpointing (its RNG stream is part of simulation state).
+  SystemActivity* system_activity() noexcept { return system_activity_.get(); }
+  const SystemActivity* system_activity() const noexcept { return system_activity_.get(); }
+
   sim::Engine engine;
   trace::Tracer tracer;
   sched::Scheduler scheduler;

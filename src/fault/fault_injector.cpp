@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/digest.hpp"
+#include "snapshot/rng_io.hpp"
+
 namespace mvqoe::fault {
 
 namespace {
@@ -33,7 +36,8 @@ void FaultInjector::set_kill_target(std::function<mem::ProcessId()> resolver) {
 }
 
 void FaultInjector::schedule_action(sim::Time when, sim::Engine::Callback fn) {
-  pending_.push_back(targets_.engine->schedule_at(when, std::move(fn)));
+  const sim::Time at = std::max(when, targets_.engine->now());
+  pending_.push_back(PendingAction{targets_.engine->schedule_at(when, std::move(fn)), at});
 }
 
 void FaultInjector::record(trace::InstantKind kind, std::int64_t value) {
@@ -75,7 +79,7 @@ void FaultInjector::arm(sim::Time base) {
 
 void FaultInjector::disarm() {
   if (!armed_) return;
-  for (const sim::EventId id : pending_) targets_.engine->cancel(id);
+  for (const PendingAction& action : pending_) targets_.engine->cancel(action.id);
   pending_.clear();
   // Restore nominal conditions for any window still open.
   if (ge_bad_) {
@@ -203,5 +207,49 @@ void FaultInjector::ge_transition() {
                     [this] { ge_transition(); });
   }
 }
+
+std::vector<FaultInjector::PendingAction> FaultInjector::pending_schedule() const {
+  std::vector<PendingAction> remaining;
+  const sim::Time now = targets_.engine ? targets_.engine->now() : 0;
+  for (const PendingAction& action : pending_) {
+    // An already-fired action's event id is consumed; its entry is only
+    // stale bookkeeping. Anything scheduled at or after now is still live
+    // (the engine dispatches same-time events before advancing past them,
+    // and pending_ is pruned nowhere else).
+    if (action.at >= now) remaining.push_back(action);
+  }
+  std::sort(remaining.begin(), remaining.end(), [](const PendingAction& a, const PendingAction& b) {
+    return a.at != b.at ? a.at < b.at : a.id < b.id;
+  });
+  return remaining;
+}
+
+void FaultInjector::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.b(armed_);
+  w.b(ge_bad_);
+  w.b(ge_outage_);
+  w.i32(open_outages_);
+  w.i32(open_storage_windows_);
+  w.i32(open_thermal_windows_);
+  w.u64(kills_injected_);
+  w.u64(skipped_actions_);
+  w.f64(nominal_rate_mbps_);
+  snapshot::write_rng(w, rng_);
+  w.u64(log_.size());
+  for (const FaultRecord& rec : log_) {
+    w.u8(static_cast<std::uint8_t>(rec.kind));
+    w.i64(rec.at);
+    w.i64(rec.value);
+  }
+  const auto remaining = pending_schedule();
+  w.u64(remaining.size());
+  for (const PendingAction& action : remaining) {
+    w.u64(action.id);
+    w.i64(action.at);
+  }
+}
+
+std::uint64_t FaultInjector::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::fault

@@ -142,6 +142,21 @@ class FaultInjector {
   int open_storage_windows() const noexcept { return open_storage_windows_; }
   int open_thermal_windows() const noexcept { return open_thermal_windows_; }
 
+  /// One scheduled-but-not-yet-fired plan action.
+  struct PendingAction {
+    sim::EventId id = sim::kInvalidEvent;
+    sim::Time at = 0;
+  };
+  /// The remaining fault schedule: actions still pending at engine-now,
+  /// sorted by (at, id). This is what a checkpoint taken mid-outage must
+  /// restore exactly — the close of an open window lives here.
+  std::vector<PendingAction> pending_schedule() const;
+
+  /// Serialize plan-progress state: window nesting, GE chain state + RNG,
+  /// counters, the applied-fault log and the remaining schedule.
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   void schedule_action(sim::Time when, sim::Engine::Callback fn);
   void record(trace::InstantKind kind, std::int64_t value);
@@ -160,7 +175,7 @@ class FaultInjector {
   FaultPlan plan_;
   stats::Rng rng_;
   std::function<mem::ProcessId()> kill_target_;
-  std::vector<sim::EventId> pending_;
+  std::vector<PendingAction> pending_;
   std::vector<FaultRecord> log_;
   bool armed_ = false;
   bool ge_bad_ = false;

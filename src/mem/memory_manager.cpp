@@ -6,6 +6,8 @@
 #include <cmath>
 #include <memory>
 
+#include "snapshot/digest.hpp"
+
 namespace mvqoe::mem {
 
 namespace {
@@ -861,5 +863,47 @@ MemoryManager::ConservationReport MemoryManager::check_conservation() const {
   }
   return report;
 }
+
+void MemoryManager::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  registry_.save(w);
+  w.i64(anon_pool_);
+  w.i64(file_clean_);
+  w.i64(file_dirty_);
+  w.i64(dirty_in_flight_);
+  w.i64(zram_stored_);
+  w.f64(pressure_ema_);
+  w.i64(last_pressure_sample_);
+  w.u8(static_cast<std::uint8_t>(level_));
+  w.u64(kswapd_tid_);
+  w.u64(lmkd_tid_);
+  w.b(kswapd_active_);
+  w.b(kswapd_running_);
+  w.b(lmkd_busy_);
+  w.i64(last_lmkd_kill_);
+  w.u64(vmstat_.pgscan_kswapd);
+  w.u64(vmstat_.pgsteal_kswapd);
+  w.u64(vmstat_.pgscan_direct);
+  w.u64(vmstat_.pgsteal_direct);
+  w.u64(vmstat_.pswpout);
+  w.u64(vmstat_.pswpin);
+  w.u64(vmstat_.pgpgin);
+  w.u64(vmstat_.pgpgout);
+  w.u64(vmstat_.kswapd_wakeups);
+  w.u64(vmstat_.direct_reclaim_entries);
+  w.u64(vmstat_.kills_lmkd);
+  for (const std::uint64_t signals : vmstat_.trim_signals) w.u64(signals);
+  w.u64(next_waiter_id_);
+  w.u64(waiters_.size());
+  for (const Waiter& waiter : waiters_) {
+    w.u64(waiter.id);
+    w.i64(waiter.pages);
+    w.u32(waiter.pid);
+    w.u64(waiter.tid);
+    w.i64(waiter.started);
+  }
+}
+
+std::uint64_t MemoryManager::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::mem

@@ -137,6 +137,12 @@ class MemoryManager {
   };
   ConservationReport check_conservation() const;
 
+  /// Serialize pools, pressure state, vmstat, the process registry and
+  /// parked allocation waiters (ids/sizes only — their completion
+  /// callbacks are closures and replay-reconstructed, DESIGN.md §10).
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   struct ReclaimOutcome {
     Pages scanned = 0;

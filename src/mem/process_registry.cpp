@@ -118,4 +118,29 @@ std::size_t ProcessRegistry::live_count() const noexcept {
   return count;
 }
 
+void ProcessRegistry::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.u64(lru_clock_);
+  std::vector<const ProcessMem*> sorted;
+  sorted.reserve(processes_.size());
+  for (const auto& [pid, process] : processes_) sorted.push_back(&process);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProcessMem* a, const ProcessMem* b) { return a->pid < b->pid; });
+  w.u64(sorted.size());
+  for (const ProcessMem* p : sorted) {
+    w.u32(p->pid);
+    w.str(p->name);
+    w.i32(p->oom_adj);
+    w.i64(p->anon_resident);
+    w.i64(p->anon_swapped);
+    w.i64(p->file_resident);
+    w.i64(p->file_working_set);
+    w.i64(p->hot_pages);
+    w.u64(p->lru_seq);
+    w.b(p->alive);
+    w.b(p->killable);
+    w.b(p->unevictable);
+  }
+}
+
 }  // namespace mvqoe::mem

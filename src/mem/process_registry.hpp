@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/types.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace mvqoe::mem {
 
@@ -97,6 +98,11 @@ class ProcessRegistry {
 
   std::vector<const ProcessMem*> all() const;
   std::size_t live_count() const noexcept;
+
+  /// Serialize every process sorted by pid — the unordered_map's bucket
+  /// layout must not leak into the bytes. on_kill closures are not
+  /// serializable and are excluded (see DESIGN.md §10).
+  void save(snapshot::ByteWriter& w) const;
 
  private:
   std::unordered_map<ProcessId, ProcessMem> processes_;

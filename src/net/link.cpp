@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "snapshot/digest.hpp"
+
 namespace mvqoe::net {
 
 Link::Link(sim::Engine& engine, LinkConfig config) : engine_(engine), config_(config) {}
@@ -155,5 +157,33 @@ void Link::pump() {
     if (config_.rate_mbps > 0.0) repace_active();
   }
 }
+
+void Link::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.f64(config_.rate_mbps);
+  w.b(down_);
+  w.u64(bytes_delivered_);
+  w.u64(next_id_);
+  w.u64(counters_.completed);
+  w.u64(counters_.cancelled);
+  w.u64(counters_.timed_out);
+  w.u64(counters_.outages);
+  w.u64(queue_.size());
+  for (const Pending& pending : queue_) {
+    w.u64(pending.id);
+    w.u64(pending.bytes);
+  }
+  w.u64(active_.id);
+  if (active_.id != kInvalidTransfer) {
+    w.u64(active_.total_bytes);
+    w.f64(active_.remaining_bytes);
+    w.i64(active_.setup_remaining);
+    w.i64(active_.paced_at);
+    w.i64(active_.timeout_remaining);
+    w.i64(active_.timeout_armed_at);
+  }
+}
+
+std::uint64_t Link::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::net

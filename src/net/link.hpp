@@ -84,6 +84,12 @@ class Link {
   /// transfers wait; on restore the transfer resumes where it stopped.
   void set_down(bool down);
 
+  /// Serialize rate/outage state, counters, the transfer queue and the
+  /// in-flight transfer's pacing (completion callbacks excluded —
+  /// closures, replay-reconstructed per DESIGN.md §10).
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   struct Pending {
     TransferId id = kInvalidTransfer;

@@ -1,5 +1,7 @@
 #include "proc/activity_manager.hpp"
 
+#include "snapshot/digest.hpp"
+
 namespace mvqoe::proc {
 
 ActivityManager::ActivityManager(mem::MemoryManager& memory) : memory_(memory) {}
@@ -102,5 +104,22 @@ void ActivityManager::close(ProcessId pid) {
   if (foreground_ == pid) foreground_ = 0;
   memory_.exit_process(pid);
 }
+
+void ActivityManager::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.u32(next_pid_);
+  w.u32(foreground_);
+  w.u64(launched_.size());
+  for (const ProcessId pid : launched_) w.u32(pid);
+  w.u64(system_pids_.size());
+  for (const ProcessId pid : system_pids_) w.u32(pid);
+  w.f64(system_scale_);
+  w.i32(respawn_target_);
+  w.u64(respawns_);
+  w.u64(respawn_cursor_);
+  w.b(respawner_ != nullptr && respawner_->running());
+}
+
+std::uint64_t ActivityManager::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::proc

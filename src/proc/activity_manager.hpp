@@ -59,6 +59,11 @@ class ActivityManager {
 
   mem::MemoryManager& memory() noexcept { return memory_; }
 
+  /// Serialize lifecycle state: pid counter, foreground, launched/system
+  /// pid lists and respawn bookkeeping.
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   void respawn_one();
 

@@ -1,5 +1,6 @@
 #include "runner/json_writer.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -60,9 +61,13 @@ JsonWriter& JsonWriter::value(double v) {
     out_ += "null";
     return *this;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out_ += buf;
+  // std::to_chars is locale-independent by definition (equivalent to
+  // %.17g in the "C" locale); snprintf would honor LC_NUMERIC and emit
+  // decimal commas under e.g. de_DE, corrupting the JSON and breaking
+  // the byte-identical determinism contract (DESIGN.md §9).
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  out_.append(buf, res.ptr);
   return *this;
 }
 

@@ -99,9 +99,8 @@ void write_run_outcome(JsonWriter& w, const qoe::RunOutcome& outcome) {
       .end_object();
 }
 
-std::string write_sweep_json(std::string_view bench_name,
-                             const std::vector<SweepCellResult>& cells, int runs, int jobs_used,
-                             std::uint64_t base_seed) {
+std::string sweep_json(std::string_view bench_name, const std::vector<SweepCellResult>& cells,
+                       int runs, int jobs_used, std::uint64_t base_seed) {
   JsonWriter w;
   w.begin_object()
       .field("bench", bench_name)
@@ -140,9 +139,14 @@ std::string write_sweep_json(std::string_view bench_name,
   w.key("drop_rate_histogram");
   write_histogram(w, drops);
   w.end_object();
+  return w.str();
+}
 
+std::string write_sweep_json(std::string_view bench_name,
+                             const std::vector<SweepCellResult>& cells, int runs, int jobs_used,
+                             std::uint64_t base_seed) {
   const std::string path = bench_json_path(bench_name);
-  if (!write_file(path, w.str())) return "";
+  if (!write_file(path, sweep_json(bench_name, cells, runs, jobs_used, base_seed))) return "";
   return path;
 }
 

@@ -68,6 +68,12 @@ std::vector<SweepCellResult> run_sweep_grid(const core::VideoRunSpec& proto,
 /// the parallel-vs-serial byte-identity tests compare).
 void write_run_outcome(JsonWriter& w, const qoe::RunOutcome& outcome);
 
+/// The BENCH_<name>.json payload as a string — what write_sweep_json
+/// writes. Exposed so byte-identity checks (warm-start vs cold sweeps)
+/// can compare payloads without touching the filesystem.
+std::string sweep_json(std::string_view bench_name, const std::vector<SweepCellResult>& cells,
+                       int runs, int jobs_used, std::uint64_t base_seed);
+
 /// Serialize a sweep to BENCH_<name>.json: per-cell aggregates (drop-rate
 /// mean/CI, crash/relaunch rates, PSS) plus per-run outcomes and a
 /// drop-rate histogram rollup. Returns the path written, or "" on I/O

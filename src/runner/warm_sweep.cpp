@@ -1,0 +1,289 @@
+#include "runner/warm_sweep.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "snapshot/bytes.hpp"
+#include "stats/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define MVQOE_WARM_FORK 1
+#else
+#define MVQOE_WARM_FORK 0
+#endif
+
+namespace mvqoe::runner {
+
+namespace {
+
+/// One (cell, run) outcome crossing the fork pipe (or, in cold mode,
+/// produced in-process): ok flag + the exact RunOutcome bit patterns, so
+/// warm and cold reductions see identical doubles.
+struct CellRunOutcome {
+  bool ok = false;
+  qoe::RunOutcome outcome;
+  std::string error;
+};
+
+void encode_outcome(snapshot::ByteWriter& w, const CellRunOutcome& result) {
+  w.b(result.ok);
+  if (!result.ok) {
+    w.str(result.error);
+    return;
+  }
+  const qoe::RunOutcome& o = result.outcome;
+  w.f64(o.drop_rate);
+  w.b(o.crashed);
+  w.b(o.aborted);
+  w.f64(o.mean_pss_mb);
+  w.f64(o.peak_pss_mb);
+  w.f64(o.startup_delay_s);
+  w.i32(o.relaunches);
+  w.i32(o.rebuffer_events);
+  w.f64(o.relaunch_downtime_s);
+}
+
+CellRunOutcome decode_outcome(snapshot::ByteReader& r) {
+  CellRunOutcome result;
+  result.ok = r.b();
+  if (!result.ok) {
+    result.error = r.str();
+    return result;
+  }
+  qoe::RunOutcome& o = result.outcome;
+  o.drop_rate = r.f64();
+  o.crashed = r.b();
+  o.aborted = r.b();
+  o.mean_pss_mb = r.f64();
+  o.peak_pss_mb = r.f64();
+  o.startup_delay_s = r.f64();
+  o.relaunches = r.i32();
+  o.rebuffer_events = r.i32();
+  o.relaunch_downtime_s = r.f64();
+  return result;
+}
+
+/// Video phase of one cell on an already-prepared experiment. Runs in the
+/// forked child (warm) — never returns an exception across the pipe.
+CellRunOutcome run_cell_video(core::VideoExperiment& exp, int height, int fps,
+                              std::uint64_t video_seed) {
+  CellRunOutcome result;
+  try {
+    exp.set_cell(height, fps, video_seed);
+    exp.start_video();
+    while (exp.advance_slice()) {
+    }
+    result.outcome = exp.finalize().outcome;
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  return result;
+}
+
+#if MVQOE_WARM_FORK
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_all(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// Fork the video phases of one prepared world: each pending cell runs in
+/// its own child (waves of `workers`), returning its outcome over a pipe.
+/// The parent must be single-threaded when this is called — fork() from a
+/// threaded process can deadlock the child's allocator.
+struct PendingCell {
+  std::size_t slot = 0;  // index into the group's outcome vector
+  int height = 0;
+  int fps = 0;
+  std::uint64_t video_seed = 0;
+};
+
+void fork_group(core::VideoExperiment& exp, const std::vector<PendingCell>& pending, int workers,
+                std::vector<CellRunOutcome>& outcomes) {
+  struct Child {
+    pid_t pid = -1;
+    int fd = -1;
+    std::size_t slot = 0;
+  };
+  std::size_t next = 0;
+  while (next < pending.size()) {
+    std::vector<Child> wave;
+    while (next < pending.size() && wave.size() < static_cast<std::size_t>(workers)) {
+      const PendingCell& cell = pending[next++];
+      int fds[2];
+      if (::pipe(fds) != 0) {
+        outcomes[cell.slot].error = "pipe() failed";
+        continue;
+      }
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        outcomes[cell.slot].error = "fork() failed";
+        continue;
+      }
+      if (pid == 0) {
+        ::close(fds[0]);
+        snapshot::ByteWriter w;
+        encode_outcome(w, run_cell_video(exp, cell.height, cell.fps, cell.video_seed));
+        write_all(fds[1], w.view());
+        ::close(fds[1]);
+        ::_exit(0);  // no destructors/atexit — the child is a throwaway world
+      }
+      ::close(fds[1]);
+      wave.push_back(Child{pid, fds[0], cell.slot});
+    }
+    for (const Child& child : wave) {
+      const std::string payload = read_all(child.fd);
+      ::close(child.fd);
+      int status = 0;
+      ::waitpid(child.pid, &status, 0);
+      CellRunOutcome& out = outcomes[child.slot];
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 || payload.empty()) {
+        out.error = "warm-start child died before reporting";
+        continue;
+      }
+      try {
+        snapshot::ByteReader r(payload);
+        out = decode_outcome(r);
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      }
+    }
+  }
+}
+
+#endif  // MVQOE_WARM_FORK
+
+}  // namespace
+
+std::uint64_t sweep_group_seed(std::uint64_t base, mem::PressureLevel state, int run) noexcept {
+  std::uint64_t seed = stats::derive_seed(base, 0x57524C44ULL /* "WRLD" */);
+  seed = stats::derive_seed(seed, static_cast<std::uint64_t>(state) + 1);
+  seed = stats::derive_seed(seed, static_cast<std::uint64_t>(run) + 1);
+  return seed;
+}
+
+std::uint64_t sweep_video_seed(std::uint64_t group_seed, int height, int fps) noexcept {
+  std::uint64_t seed = stats::derive_seed(group_seed, 0x56494445ULL /* "VIDE" */);
+  seed = stats::derive_seed(seed, static_cast<std::uint64_t>(height));
+  seed = stats::derive_seed(seed, static_cast<std::uint64_t>(fps));
+  return seed;
+}
+
+bool warm_fork_supported() noexcept { return MVQOE_WARM_FORK != 0; }
+
+std::vector<SweepCellResult> run_sweep_grid_shared(
+    const core::VideoRunSpec& proto, const std::vector<mem::PressureLevel>& states,
+    const std::vector<int>& fps, const std::vector<int>& heights, int runs, int jobs,
+    std::uint64_t base_seed, SweepMode mode) {
+  std::vector<SweepCellResult> cells;
+  if (runs <= 0) return cells;
+  for (const auto state : states) {
+    for (const int f : fps) {
+      for (const int h : heights) {
+        SweepCellResult cell;
+        cell.height = h;
+        cell.fps = f;
+        cell.state = state;
+        cell.cell_seed = sweep_video_seed(sweep_group_seed(base_seed, state, 0), h, f);
+        cells.push_back(cell);
+      }
+    }
+  }
+  const auto cells_per_state = fps.size() * heights.size();
+
+  // (cell-index, run) -> outcome, filled by either mode, reduced once.
+  std::vector<CellRunOutcome> outcomes(cells.size() * static_cast<std::size_t>(runs));
+  const auto slot_of = [runs](std::size_t cell_index, int run) {
+    return cell_index * static_cast<std::size_t>(runs) + static_cast<std::size_t>(run);
+  };
+
+  if (mode == SweepMode::Warm && warm_fork_supported()) {
+#if MVQOE_WARM_FORK
+    const int workers = resolve_jobs(jobs);
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      for (int run = 0; run < runs; ++run) {
+        const std::uint64_t group_seed = sweep_group_seed(base_seed, states[s], run);
+        core::VideoRunSpec world_spec = proto;
+        world_spec.pressure = states[s];
+        world_spec.world_seed = group_seed;
+        world_spec.seed = group_seed;  // placeholder; every cell retargets
+        core::VideoExperiment exp(world_spec);
+        exp.prepare();  // the shared phase, simulated once per group
+
+        std::vector<PendingCell> pending;
+        for (std::size_t c = 0; c < cells_per_state; ++c) {
+          const std::size_t cell_index = s * cells_per_state + c;
+          const SweepCellResult& cell = cells[cell_index];
+          pending.push_back(PendingCell{slot_of(cell_index, run), cell.height, cell.fps,
+                                        sweep_video_seed(group_seed, cell.height, cell.fps)});
+        }
+        fork_group(exp, pending, workers, outcomes);
+      }
+    }
+#endif
+  } else {
+    // Cold baseline: every (cell, run) from boot, on the thread pool. The
+    // seeds are identical to the warm path's, so so are the outcomes.
+    const std::size_t total = cells.size() * static_cast<std::size_t>(runs);
+    auto result = run_batch(total, jobs, [&](std::size_t task) {
+      const std::size_t cell_index = task / static_cast<std::size_t>(runs);
+      const int run = static_cast<int>(task % static_cast<std::size_t>(runs));
+      const SweepCellResult& cell = cells[cell_index];
+      const std::uint64_t group_seed = sweep_group_seed(base_seed, cell.state, run);
+      core::VideoRunSpec spec = proto;
+      spec.height = cell.height;
+      spec.fps = cell.fps;
+      spec.pressure = cell.state;
+      spec.world_seed = group_seed;
+      spec.seed = sweep_video_seed(group_seed, cell.height, cell.fps);
+      return core::run_video(spec);
+    });
+    for (std::size_t task = 0; task < result.runs.size(); ++task) {
+      CellRunOutcome& out = outcomes[task];  // same cell-major layout
+      if (result.runs[task].ok) {
+        out.ok = true;
+        out.outcome = result.runs[task].value.outcome;
+      } else {
+        out.error = result.runs[task].error;
+      }
+    }
+  }
+
+  for (std::size_t cell_index = 0; cell_index < cells.size(); ++cell_index) {
+    for (int run = 0; run < runs; ++run) {
+      const CellRunOutcome& out = outcomes[slot_of(cell_index, run)];
+      if (out.ok) {
+        cells[cell_index].aggregate.add(out.outcome);
+      } else {
+        ++cells[cell_index].failures;
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace mvqoe::runner

@@ -1,0 +1,48 @@
+// Warm-start sweep grids: checkpoint the shared startup phase once, fork
+// the video phase per cell.
+//
+// A sweep cell's simulation splits into a *world* phase (boot + pressure
+// induction — identical for every (fps, height) cell of a pressure state)
+// and a *video* phase (the part that varies). The cold path re-simulates
+// the world for every cell; the warm path prepares it once per
+// (state, run) group and forks a child process per cell, so the copy-on-
+// write image carries the full world state — including the engine's
+// closure-holding event queue, which no serializer could (DESIGN.md §10).
+//
+// Both modes use the same seed scheme (one world stream per group, one
+// video stream per cell), so Warm must reproduce Cold byte-for-byte —
+// the warm-vs-cold identity test and bench assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/video_batch.hpp"
+
+namespace mvqoe::runner {
+
+/// World stream for a (state, run) sweep group: every (fps, height) cell
+/// of the group boots the same world from this seed.
+std::uint64_t sweep_group_seed(std::uint64_t base, mem::PressureLevel state, int run) noexcept;
+
+/// Video stream for one cell within a group.
+std::uint64_t sweep_video_seed(std::uint64_t group_seed, int height, int fps) noexcept;
+
+enum class SweepMode {
+  Cold,  // every (cell, run) simulated from boot on the thread pool
+  Warm,  // one prepared world per (state, run) group, cells forked from it
+};
+
+/// True when the platform supports the fork-based warm path; when false,
+/// Warm silently degrades to Cold (same results either way).
+bool warm_fork_supported() noexcept;
+
+/// Shared-world sweep grid. Layout and reduction match run_sweep_grid
+/// (cells in state-major grid order, runs per cell in run order); only
+/// the seed scheme differs — cell_seed reports the run-0 video seed.
+std::vector<SweepCellResult> run_sweep_grid_shared(
+    const core::VideoRunSpec& proto, const std::vector<mem::PressureLevel>& states,
+    const std::vector<int>& fps, const std::vector<int>& heights, int runs, int jobs,
+    std::uint64_t base_seed, SweepMode mode);
+
+}  // namespace mvqoe::runner

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "snapshot/digest.hpp"
+
 namespace mvqoe::sched {
 
 namespace {
@@ -535,5 +537,45 @@ void Scheduler::note_stopped_running(ThreadId tid, sim::Time ran_for) {
   }
   awaiting_run_.erase(it);
 }
+
+void Scheduler::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.f64(speed_scale_);
+  w.u64(threads_.size());
+  for (const Thread& t : threads_) {
+    w.str(t.spec.name);
+    w.u32(t.spec.pid);
+    w.u8(static_cast<std::uint8_t>(t.spec.sched_class));
+    w.i32(t.spec.priority);
+    w.u64(t.spec.affinity);
+    w.u8(static_cast<std::uint8_t>(t.state));
+    w.f64(t.remaining_work);
+    w.f64(t.vruntime);
+    w.f64(t.weight);
+    w.i32(t.core);
+    w.i32(t.last_core);
+    w.b(t.alive);
+    w.u64(t.counters.context_switches);
+    w.u64(t.counters.migrations);
+    w.u64(t.counters.preemptions_suffered);
+    w.f64(t.counters.cpu_refus_consumed);
+  }
+  w.u64(cores_.size());
+  for (const Core& core : cores_) {
+    w.f64(core.config.freq_ghz);
+    w.u64(core.running);
+    w.i64(core.run_start);
+    w.f64(core.run_start_work);
+    // Queue contents in queue order: the order itself is scheduling
+    // state (RT FIFO within priority; fair pick scans in vector order
+    // to break vruntime ties).
+    w.u64(core.rt_queue.size());
+    for (const ThreadId tid : core.rt_queue) w.u64(tid);
+    w.u64(core.fair_queue.size());
+    for (const ThreadId tid : core.fair_queue) w.u64(tid);
+  }
+}
+
+std::uint64_t Scheduler::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::sched

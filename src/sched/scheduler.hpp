@@ -134,6 +134,12 @@ class Scheduler {
   void set_speed_scale(double scale);
   double speed_scale() const noexcept { return speed_scale_; }
 
+  /// Serialize per-thread and per-core scheduling state (vruntimes,
+  /// runqueues, counters, in-flight stints). Doubles are emitted as bit
+  /// patterns, so equal digests mean bit-equal state.
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   struct Thread {
     ThreadSpec spec;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "snapshot/digest.hpp"
+
 namespace mvqoe::sim {
 
 EventId Engine::schedule_at(Time t, Callback fn) {
@@ -68,6 +70,42 @@ bool Engine::step() {
     return true;
   }
   return false;
+}
+
+std::vector<std::pair<Time, std::uint64_t>> Engine::live_events() const {
+  std::vector<std::pair<Time, std::uint64_t>> live;
+  live.reserve(heap_.size());
+  for (const Entry& e : heap_) {
+    if (cancelled_.count(e.id) == 0) live.emplace_back(e.time, e.seq);
+  }
+  // The heap array's layout depends on insertion/cancellation history;
+  // sorting by dispatch order removes that history from the digest.
+  std::sort(live.begin(), live.end());
+  return live;
+}
+
+std::uint64_t Engine::digest() const {
+  snapshot::StateHash h;
+  h.mix(static_cast<std::uint64_t>(now_));
+  h.mix(next_seq_);
+  for (const auto& [time, seq] : live_events()) {
+    h.mix(static_cast<std::uint64_t>(time));
+    h.mix(seq);
+  }
+  return h.value();
+}
+
+void Engine::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.i64(now_);
+  w.u64(next_seq_);
+  w.u64(dispatched_);
+  const auto live = live_events();
+  w.u64(live.size());
+  for (const auto& [time, seq] : live) {
+    w.i64(time);
+    w.u64(seq);
+  }
 }
 
 bool Engine::check_invariants() const noexcept {

@@ -18,9 +18,11 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace mvqoe::sim {
 
@@ -76,6 +78,23 @@ class Engine {
   /// heap entry and no callback, so heap size == callbacks + cancelled and
   /// the two id sets are disjoint. Cheap enough for test/watchdog use.
   bool check_invariants() const noexcept;
+
+  /// Live (time, seq) pairs in dispatch order; lazily-cancelled entries
+  /// are excluded. This is the serializable view of the event queue (the
+  /// callbacks themselves are closures and cannot be serialized — see
+  /// DESIGN.md §10).
+  std::vector<std::pair<Time, std::uint64_t>> live_events() const;
+
+  /// Stable 64-bit hash of (now, next_seq, live timer set). Invariant to
+  /// heap layout, lazily-cancelled residue, and maybe_compact() timing:
+  /// two engines with the same clock, same seq counter and the same set
+  /// of pending live events digest identically no matter how they got
+  /// there.
+  std::uint64_t digest() const;
+
+  /// Serialize the replayable view: clock, seq counter, dispatch count
+  /// and the sorted live (time, seq) list.
+  void save(snapshot::ByteWriter& w) const;
 
  private:
   struct Entry {

@@ -1,0 +1,100 @@
+#include "snapshot/blob.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "snapshot/digest.hpp"
+
+namespace mvqoe::snapshot {
+
+std::string tag_name(std::uint32_t t) {
+  std::string s;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((t >> (8 * i)) & 0xFF);
+    s += (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return s;
+}
+
+std::optional<std::string_view> Snapshot::get(std::uint32_t section_tag) const {
+  for (const Section& s : sections_) {
+    if (s.tag == section_tag) return std::string_view(s.bytes);
+  }
+  return std::nullopt;
+}
+
+std::string_view Snapshot::require(std::uint32_t section_tag) const {
+  if (const auto s = get(section_tag)) return *s;
+  throw std::runtime_error("snapshot: missing section '" + tag_name(section_tag) + "'");
+}
+
+std::string Snapshot::serialize() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kFormatVersion);
+  w.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    w.u32(s.tag);
+    w.u64(s.bytes.size());
+    w.raw(s.bytes);
+  }
+  return std::move(w).take();
+}
+
+Snapshot Snapshot::parse(std::string_view data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw std::runtime_error("snapshot: bad magic (not an MVQS blob)");
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("snapshot: unsupported container version " + std::to_string(version));
+  }
+  const std::uint32_t count = r.u32();
+  Snapshot snap;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t t = r.u32();
+    const std::uint64_t len = r.u64();
+    if (len > r.remaining()) throw std::runtime_error("snapshot: truncated section '" + tag_name(t) + "'");
+    std::string payload;
+    payload.reserve(len);
+    for (std::uint64_t b = 0; b < len; ++b) payload += static_cast<char>(r.u8());
+    snap.put(t, std::move(payload));
+  }
+  return snap;
+}
+
+std::uint64_t Snapshot::digest() const {
+  StateHash h;
+  for (const Section& s : sections_) {
+    h.mix(s.tag);
+    h.mix_bytes(s.bytes);
+  }
+  return h.value();
+}
+
+bool Snapshot::write_file(const std::string& path, const Snapshot& snap) {
+  const std::string data = snap.serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != data.size() || !closed) {
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+Snapshot Snapshot::read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("snapshot: cannot open " + path);
+  std::string data;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) throw std::runtime_error("snapshot: read error on " + path);
+  return parse(data);
+}
+
+}  // namespace mvqoe::snapshot

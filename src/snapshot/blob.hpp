@@ -1,0 +1,80 @@
+// Self-describing versioned snapshot blob.
+//
+// Layout (all little-endian):
+//   magic   u32  'MVQS'
+//   version u32  container format version (kFormatVersion)
+//   count   u32  number of sections
+//   then per section:
+//     tag   u32  fourcc (e.g. 'ENGN', 'MEM ')
+//     len   u64  payload byte length
+//     payload  len bytes (each section starts with its own u32 version)
+//
+// Unknown sections are preserved verbatim on read — a newer writer's blob
+// still round-trips through an older reader as long as the container
+// version matches (see DESIGN.md §10 for the compatibility policy).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "snapshot/bytes.hpp"
+
+namespace mvqoe::snapshot {
+
+inline constexpr std::uint32_t kMagic = 0x5351564DU;  // "MVQS" LE
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Four-character section tag, e.g. tag("ENGN").
+constexpr std::uint32_t tag(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+std::string tag_name(std::uint32_t t);
+
+/// Ordered container of tagged byte sections. Subsystem save() fills a
+/// ByteWriter and calls put(); load()/digest paths fetch by tag.
+class Snapshot {
+ public:
+  struct Section {
+    std::uint32_t tag = 0;
+    std::string bytes;
+  };
+
+  void put(std::uint32_t section_tag, std::string bytes) {
+    sections_.push_back(Section{section_tag, std::move(bytes)});
+  }
+  void put(std::uint32_t section_tag, ByteWriter&& w) {
+    put(section_tag, std::move(w).take());
+  }
+
+  /// First section with the given tag, or nullopt.
+  std::optional<std::string_view> get(std::uint32_t section_tag) const;
+  /// Like get(), but throws with the tag name if missing.
+  std::string_view require(std::uint32_t section_tag) const;
+  bool has(std::uint32_t section_tag) const { return get(section_tag).has_value(); }
+
+  const std::vector<Section>& sections() const noexcept { return sections_; }
+
+  /// Serialize to / parse from the container format. parse throws on
+  /// bad magic, unsupported container version, or truncation.
+  std::string serialize() const;
+  static Snapshot parse(std::string_view data);
+
+  /// Whole-blob digest (covers serialized bytes, so section order matters).
+  std::uint64_t digest() const;
+
+  static bool write_file(const std::string& path, const Snapshot& snap);
+  static Snapshot read_file(const std::string& path);  // throws on error
+
+ private:
+  std::vector<Section> sections_;
+};
+
+}  // namespace mvqoe::snapshot

@@ -1,0 +1,71 @@
+// Canonical 64-bit state digests.
+//
+// A digest is a splitmix64-based fold over a byte stream — not
+// cryptographic, but stable across runs, platforms and library versions
+// (unlike std::hash). Subsystems expose `digest()` as the hash of the
+// exact bytes their `save()` emits, so "digests equal" means "serialized
+// state identical" with no second source of truth to drift.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "snapshot/bytes.hpp"
+
+namespace mvqoe::snapshot {
+
+/// Incremental 64-bit hasher. Feed words or buffers; order matters.
+class StateHash {
+ public:
+  StateHash() = default;
+  explicit StateHash(std::uint64_t seed) : h_(seed) {}
+
+  void mix(std::uint64_t v) noexcept {
+    h_ = mix64(h_ ^ (v + 0x9E3779B97F4A7C15ULL));
+  }
+  void mix_bytes(std::string_view bytes) noexcept {
+    std::uint64_t word = 0;
+    int n = 0;
+    for (const char c : bytes) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << (8 * n);
+      if (++n == 8) {
+        mix(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    // Length-suffix the tail so "abc" + "" and "ab" + "c" differ.
+    mix(word);
+    mix(static_cast<std::uint64_t>(bytes.size()));
+  }
+
+  std::uint64_t value() const noexcept { return mix64(h_ ^ 0xD6E8FEB86659FD93ULL); }
+
+  /// One-shot splitmix64 finalizer (public: useful for commutative folds).
+  static std::uint64_t mix64(std::uint64_t z) noexcept {
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t h_ = 0x4D565153ULL;  // 'MVQS'
+};
+
+inline std::uint64_t digest_bytes(std::string_view bytes) noexcept {
+  StateHash h;
+  h.mix_bytes(bytes);
+  return h.value();
+}
+
+/// Digest of whatever `save(ByteWriter&)` emits — the standard way a
+/// subsystem implements digest(): one serialization path, one hash.
+template <class T>
+std::uint64_t state_digest(const T& subsystem) {
+  ByteWriter w;
+  subsystem.save(w);
+  return digest_bytes(w.view());
+}
+
+}  // namespace mvqoe::snapshot

@@ -1,0 +1,166 @@
+#include "snapshot/replay/scenario.hpp"
+
+#include <stdexcept>
+
+#include "core/device.hpp"
+#include "video/asset.hpp"
+
+namespace mvqoe::snapshot::replay {
+
+namespace {
+
+struct FamilySetup {
+  const char* name;
+  core::DeviceProfile (*device)();
+  video::PlayerPlatform platform;
+};
+
+const FamilySetup kFamilies[] = {
+    {"fig09", core::nokia1, video::PlayerPlatform::Firefox},
+    {"fig11", core::nexus5, video::PlayerPlatform::Firefox},
+    {"fig16", core::nokia1, video::PlayerPlatform::Firefox},
+    {"fig18", core::nexus5, video::PlayerPlatform::ExoPlayer},
+    {"fig19", core::nexus5, video::PlayerPlatform::Chrome},
+    {"table1", core::nokia1, video::PlayerPlatform::Firefox},
+};
+
+const FamilySetup& find_family(const std::string& name) {
+  for (const FamilySetup& family : kFamilies) {
+    if (name == family.name) return family;
+  }
+  throw std::runtime_error("snapshot: unknown scenario family '" + name + "'");
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_families() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const FamilySetup& family : kFamilies) out.emplace_back(family.name);
+    return out;
+  }();
+  return names;
+}
+
+core::VideoRunSpec make_run_spec(const ScenarioSpec& scen) {
+  const FamilySetup& family = find_family(scen.family);
+  core::VideoRunSpec spec;
+  spec.device = family.device();
+  spec.platform = family.platform;
+  spec.asset = video::dubai_flow_motion(scen.duration_s);
+  spec.height = scen.height;
+  spec.fps = scen.fps;
+  spec.pressure = scen.state;
+  spec.seed = scen.seed;
+  spec.fault_plan = scen.fault_plan;
+  return spec;
+}
+
+void save_scenario(ByteWriter& w, const ScenarioSpec& scen) {
+  w.u32(1);  // section version
+  w.str(scen.family);
+  w.i32(scen.height);
+  w.i32(scen.fps);
+  w.i32(scen.duration_s);
+  w.u8(static_cast<std::uint8_t>(scen.state));
+  w.u64(scen.seed);
+  save_fault_plan(w, scen.fault_plan);
+}
+
+ScenarioSpec load_scenario(ByteReader& r) {
+  const std::uint32_t version = r.u32();
+  if (version != 1) throw std::runtime_error("snapshot: unsupported SCEN version");
+  ScenarioSpec scen;
+  scen.family = r.str();
+  scen.height = r.i32();
+  scen.fps = r.i32();
+  scen.duration_s = r.i32();
+  scen.state = static_cast<mem::PressureLevel>(r.u8());
+  scen.seed = r.u64();
+  scen.fault_plan = load_fault_plan(r);
+  find_family(scen.family);  // validate eagerly, before any sim is built
+  return scen;
+}
+
+void save_fault_plan(ByteWriter& w, const fault::FaultPlan& plan) {
+  w.u32(1);  // sub-record version
+  w.u64(plan.link_outages.size());
+  for (const fault::LinkOutage& o : plan.link_outages) {
+    w.i64(o.at);
+    w.i64(o.duration);
+  }
+  w.u64(plan.link_rate_steps.size());
+  for (const fault::LinkRateStep& s : plan.link_rate_steps) {
+    w.i64(s.at);
+    w.f64(s.rate_mbps);
+  }
+  w.u64(plan.storage_degradations.size());
+  for (const fault::StorageDegradation& d : plan.storage_degradations) {
+    w.i64(d.at);
+    w.i64(d.duration);
+    w.f64(d.latency_multiplier);
+    w.f64(d.error_rate);
+  }
+  w.u64(plan.thermal_windows.size());
+  for (const fault::ThermalWindow& t : plan.thermal_windows) {
+    w.i64(t.at);
+    w.i64(t.duration);
+    w.f64(t.speed_scale);
+  }
+  w.u64(plan.kills.size());
+  for (const fault::TargetedKill& k : plan.kills) {
+    w.i64(k.at);
+    w.u32(k.pid);
+  }
+  w.b(plan.gilbert_elliott.enabled);
+  w.i64(plan.gilbert_elliott.mean_good);
+  w.i64(plan.gilbert_elliott.mean_bad);
+  w.f64(plan.gilbert_elliott.good_rate_mbps);
+  w.f64(plan.gilbert_elliott.bad_rate_mbps);
+  w.f64(plan.gilbert_elliott.bad_outage_probability);
+  w.u64(plan.seed);
+}
+
+fault::FaultPlan load_fault_plan(ByteReader& r) {
+  const std::uint32_t version = r.u32();
+  if (version != 1) throw std::runtime_error("snapshot: unsupported fault-plan version");
+  fault::FaultPlan plan;
+  plan.link_outages.resize(r.u64());
+  for (fault::LinkOutage& o : plan.link_outages) {
+    o.at = r.i64();
+    o.duration = r.i64();
+  }
+  plan.link_rate_steps.resize(r.u64());
+  for (fault::LinkRateStep& s : plan.link_rate_steps) {
+    s.at = r.i64();
+    s.rate_mbps = r.f64();
+  }
+  plan.storage_degradations.resize(r.u64());
+  for (fault::StorageDegradation& d : plan.storage_degradations) {
+    d.at = r.i64();
+    d.duration = r.i64();
+    d.latency_multiplier = r.f64();
+    d.error_rate = r.f64();
+  }
+  plan.thermal_windows.resize(r.u64());
+  for (fault::ThermalWindow& t : plan.thermal_windows) {
+    t.at = r.i64();
+    t.duration = r.i64();
+    t.speed_scale = r.f64();
+  }
+  plan.kills.resize(r.u64());
+  for (fault::TargetedKill& k : plan.kills) {
+    k.at = r.i64();
+    k.pid = r.u32();
+  }
+  plan.gilbert_elliott.enabled = r.b();
+  plan.gilbert_elliott.mean_good = r.i64();
+  plan.gilbert_elliott.mean_bad = r.i64();
+  plan.gilbert_elliott.good_rate_mbps = r.f64();
+  plan.gilbert_elliott.bad_rate_mbps = r.f64();
+  plan.gilbert_elliott.bad_outage_probability = r.f64();
+  plan.seed = r.u64();
+  return plan;
+}
+
+}  // namespace mvqoe::snapshot::replay

@@ -1,0 +1,26 @@
+// Rng state <-> bytes. Every subsystem that owns a stats::Rng stream
+// serializes it with these helpers so the byte layout (and therefore the
+// digests) of RNG state is uniform across sections.
+#pragma once
+
+#include "snapshot/bytes.hpp"
+#include "stats/rng.hpp"
+
+namespace mvqoe::snapshot {
+
+inline void write_rng(ByteWriter& w, const stats::Rng& rng) {
+  const stats::Rng::State st = rng.save_state();
+  for (const std::uint64_t word : st.s) w.u64(word);
+  w.b(st.have_spare_normal);
+  w.f64(st.spare_normal);
+}
+
+inline stats::Rng::State read_rng_state(ByteReader& r) {
+  stats::Rng::State st;
+  for (std::uint64_t& word : st.s) word = r.u64();
+  st.have_spare_normal = r.b();
+  st.spare_normal = r.f64();
+  return st;
+}
+
+}  // namespace mvqoe::snapshot

@@ -59,6 +59,26 @@ class Rng {
   /// Requires at least one strictly positive weight.
   std::size_t weighted_index(const std::vector<double>& weights) noexcept;
 
+  /// Complete generator state for checkpointing. The cached Marsaglia
+  /// spare normal is part of the state: without it, a restored generator
+  /// would diverge from the original on the next normal() call.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+
+    bool operator==(const State&) const noexcept = default;
+  };
+
+  State save_state() const noexcept {
+    return State{state_, have_spare_normal_, spare_normal_};
+  }
+  void restore_state(const State& st) noexcept {
+    state_ = st.s;
+    have_spare_normal_ = st.have_spare_normal;
+    spare_normal_ = st.spare_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   bool have_spare_normal_ = false;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "snapshot/digest.hpp"
+#include "snapshot/rng_io.hpp"
+
 namespace mvqoe::storage {
 
 StorageDevice::StorageDevice(sim::Engine& engine, sched::Scheduler& scheduler,
@@ -87,5 +90,27 @@ void StorageDevice::device_transfer(IoRequest request, int attempt) {
                         });
   });
 }
+
+void StorageDevice::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.u64(mmcqd_);
+  w.b(active_);
+  w.f64(latency_multiplier_);
+  w.f64(error_rate_);
+  w.u64(counters_.reads);
+  w.u64(counters_.writes);
+  w.u64(counters_.read_bytes);
+  w.u64(counters_.written_bytes);
+  w.u64(counters_.io_errors);
+  w.u64(counters_.io_retries);
+  w.u64(queue_.size());
+  for (const IoRequest& request : queue_) {
+    w.b(request.write);
+    w.u64(request.bytes);
+  }
+  snapshot::write_rng(w, fault_rng_);
+}
+
+std::uint64_t StorageDevice::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::storage

@@ -89,6 +89,12 @@ class StorageDevice {
   void set_error_rate(double rate, std::uint64_t seed) noexcept;
   double error_rate() const noexcept { return error_rate_; }
 
+  /// Serialize queue depth/shape, counters, fault knobs and the fault
+  /// RNG stream (request completion callbacks excluded — closures,
+  /// replay-reconstructed per DESIGN.md §10).
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
  private:
   void pump();
   void device_transfer(IoRequest request, int attempt);

@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/digest.hpp"
+#include "snapshot/rng_io.hpp"
+
 namespace mvqoe::video {
 
 namespace {
+
+void write_rung(snapshot::ByteWriter& w, const Rung& rung) {
+  w.i32(rung.resolution.width);
+  w.i32(rung.resolution.height);
+  w.i32(rung.fps);
+  w.i32(rung.bitrate_kbps);
+}
+
+void write_accumulator(snapshot::ByteWriter& w, const stats::Accumulator& acc) {
+  w.u64(acc.count());
+  w.f64(acc.mean());
+  w.f64(acc.variance());
+  w.f64(acc.min());
+  w.f64(acc.max());
+}
 
 /// Lognormal multiplier with unit mean: exp(N(-sigma^2/2, sigma)).
 double unit_lognormal(stats::Rng& rng, double sigma) {
@@ -655,5 +673,96 @@ void VideoSession::finish() {
     on_finished_ = nullptr;
   }
 }
+
+void VideoSession::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.u32(pid_);
+  w.u64(pl_tid_);
+  w.u64(mc_tid_);
+  w.u64(comp_tid_);
+  w.u64(sf_tid_);
+  snapshot::write_rng(w, rng_);
+
+  // Download pipeline + playback buffer.
+  w.i32(total_segments_);
+  w.i32(next_segment_);
+  w.b(downloading_);
+  w.b(downloads_done_);
+  w.u64(buffer_.size());
+  for (const Segment& segment : buffer_) {
+    w.i32(segment.index);
+    write_rung(w, segment.rung);
+    w.i64(segment.pages);
+    w.i32(segment.frames);
+    w.i64(segment.start_pts);
+  }
+  w.i64(buffered_media_end_);
+  w.i64(next_segment_pts_);
+  w.u64(active_transfer_);
+
+  // Incarnation / playback clock.
+  w.i32(epoch_);
+  w.i64(playback_base_);
+  w.i64(pts_origin_);
+  w.i32(resume_segment_);
+  w.i64(pending_kill_time_);
+
+  // Decode cursor + pools.
+  w.b(playback_started_);
+  w.b(waiting_for_segment_);
+  w.i32(frame_in_segment_);
+  write_rung(w, current_rung_);
+  write_rung(w, pool_rung_);
+  w.i64(pool_pages_);
+  w.i64(last_touch_);
+  w.f64(throughput_estimate_mbps_);
+
+  // Compose/present stages.
+  w.u64(compose_queue_.size());
+  for (const PresentItem& item : compose_queue_) {
+    w.i64(item.deadline);
+    w.i64(item.pts);
+    write_rung(w, item.rung);
+  }
+  w.b(comp_busy_);
+  w.u64(present_queue_.size());
+  for (const PresentItem& item : present_queue_) {
+    w.i64(item.deadline);
+    w.i64(item.pts);
+    write_rung(w, item.rung);
+  }
+  w.b(sf_busy_);
+
+  w.b(started_);
+  w.b(finished_);
+  w.b(crashed_);
+
+  // Metrics.
+  w.i64(metrics_.frames_presented);
+  w.i64(metrics_.frames_dropped);
+  w.i64(metrics_.frames_lost_to_kill);
+  w.b(metrics_.crashed);
+  w.i64(metrics_.crash_time);
+  w.b(metrics_.aborted);
+  w.str(metrics_.abort_reason);
+  w.i64(metrics_.playback_start);
+  w.i64(metrics_.finished_at);
+  w.i32(metrics_.relaunches);
+  w.i32(metrics_.rebuffer_events);
+  w.i32(metrics_.segment_retries);
+  w.i32(metrics_.download_timeouts);
+  w.u64(metrics_.kill_times.size());
+  for (const sim::Time t : metrics_.kill_times) w.i64(t);
+  w.i64(metrics_.relaunch_downtime);
+  w.u64(metrics_.presented_per_second.size());
+  for (const int n : metrics_.presented_per_second) w.i32(n);
+  w.u64(metrics_.dropped_per_second.size());
+  for (const int n : metrics_.dropped_per_second) w.i32(n);
+  w.u64(metrics_.rung_history.size());
+  for (const Rung& rung : metrics_.rung_history) write_rung(w, rung);
+  write_accumulator(w, metrics_.pss_mb);
+}
+
+std::uint64_t VideoSession::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::video

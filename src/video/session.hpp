@@ -166,6 +166,13 @@ class VideoSession {
   /// App-process threads (player main + MediaCodec) — the paper's "video
   /// client process threads" of Table 4 include these plus SurfaceFlinger.
   std::vector<trace::ThreadId> client_thread_ids() const;
+
+  /// Serialize the full playback pipeline: download/buffer state, decode
+  /// cursor, compose/present queues, ABR throughput estimate, the
+  /// session RNG stream and all metrics. In-flight async callbacks are
+  /// closures and replay-reconstructed (DESIGN.md §10).
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
   trace::ThreadId surfaceflinger_tid() const noexcept { return sf_tid_; }
   trace::ThreadId mediacodec_tid() const noexcept { return mc_tid_; }
   trace::ThreadId player_tid() const noexcept { return pl_tid_; }

@@ -7,6 +7,7 @@
 #include "core/testbed.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
+#include "snapshot/replay/driver.hpp"
 
 namespace mvqoe::fault {
 namespace {
@@ -241,6 +242,63 @@ TEST(FaultInjector, GilbertElliottBadPeriodsMixOutagesAndRateCollapses) {
   // Whatever the final state, disarm restored the link.
   EXPECT_FALSE(link.down());
   EXPECT_DOUBLE_EQ(link.config().rate_mbps, 80.0);
+}
+
+// Checkpoint-under-fault: a snapshot taken mid-outage must restore the
+// remaining fault schedule exactly — the close events of the open
+// windows and every not-yet-fired action, at the same (at, id) pairs.
+// "Restore" is replay (DESIGN.md §10): a fresh driver advanced to the
+// same offset must carry an identical injector schedule and digest.
+TEST(FaultInjector, CheckpointMidOutageRestoresRemainingSchedule) {
+  using snapshot::replay::ReplayDriver;
+  using snapshot::replay::ScenarioSpec;
+
+  ScenarioSpec scen;
+  scen.family = "fig16";
+  scen.height = 480;
+  scen.fps = 30;
+  scen.duration_s = 16;
+  scen.seed = 11;
+  scen.fault_plan.link_outages.push_back({sec(4), sec(4)});           // open [4, 8]
+  scen.fault_plan.link_outages.push_back({sec(10), sec(2)});          // entirely ahead
+  scen.fault_plan.storage_degradations.push_back({sec(5), sec(6), 4.0, 0.0});  // open [5, 11]
+
+  ReplayDriver a(scen);
+  a.start();
+  ASSERT_TRUE(a.advance_to_offset(sec(6)));  // inside both open windows
+  fault::FaultInjector* inj_a = a.experiment().injector();
+  ASSERT_NE(inj_a, nullptr);
+  EXPECT_EQ(inj_a->open_outages(), 1);
+  EXPECT_EQ(inj_a->open_storage_windows(), 1);
+  const auto sched_a = inj_a->pending_schedule();
+  // Still pending: outage-1 close (+8), outage-2 open (+10) and close
+  // (+12), storage-window close (+11).
+  ASSERT_EQ(sched_a.size(), 4u);
+  const sim::Time video_start = a.video_start();
+  EXPECT_EQ(sched_a.front().at, video_start + sec(8));
+  EXPECT_EQ(sched_a.back().at, video_start + sec(12));
+
+  ReplayDriver b(scen);
+  b.start();
+  ASSERT_TRUE(b.advance_to_offset(sec(6)));
+  fault::FaultInjector* inj_b = b.experiment().injector();
+  ASSERT_NE(inj_b, nullptr);
+  const auto sched_b = inj_b->pending_schedule();
+  ASSERT_EQ(sched_b.size(), sched_a.size());
+  for (std::size_t i = 0; i < sched_a.size(); ++i) {
+    EXPECT_EQ(sched_a[i].at, sched_b[i].at) << "entry " << i;
+    EXPECT_EQ(sched_a[i].id, sched_b[i].id) << "entry " << i;
+  }
+  EXPECT_EQ(inj_a->digest(), inj_b->digest());
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // Running on from the checkpoint closes the windows identically: the
+  // replayed world is indistinguishable from the original to the end.
+  while (!a.done()) a.advance_to_offset(a.offset() + sec(2));
+  while (!b.done()) b.advance_to_offset(b.offset() + sec(2));
+  EXPECT_EQ(inj_a->open_outages(), 0);
+  EXPECT_EQ(inj_a->log().size(), inj_b->log().size());
+  EXPECT_EQ(a.digest(), b.digest());
 }
 
 TEST(InvariantWatchdog, CleanRunReportsNoViolations) {

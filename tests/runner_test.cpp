@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
@@ -188,6 +190,40 @@ TEST(JsonWriter, DoublesRoundTrip) {
   w.begin_array().value(value).end_array();
   const std::string s = w.str();
   EXPECT_EQ(std::strtod(s.c_str() + 1, nullptr), value);
+}
+
+TEST(JsonWriter, LocaleIndependentDoubles) {
+  // A decimal-comma locale must not leak into the JSON: "[1,5]" instead
+  // of "[1.5]" silently changes both the schema and the bytes the
+  // determinism contract (DESIGN.md §9) and golden-digest tests hash.
+  const std::string reference = [] {
+    JsonWriter w;
+    w.begin_array().value(1.5).value(0.12345678901234567).value(1e-9).value(-2.75e20).end_array();
+    return w.str();
+  }();
+  EXPECT_NE(reference.find("1.5"), std::string::npos);
+
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* de = std::setlocale(LC_ALL, "de_DE.UTF-8");
+  if (de == nullptr) de = std::setlocale(LC_ALL, "de_DE.utf8");
+  if (de == nullptr) de = std::setlocale(LC_NUMERIC, "de_DE");
+  if (de == nullptr) {
+    GTEST_SKIP() << "no de_DE-style locale available on this system";
+  }
+  // Only meaningful if the locale really uses a decimal comma.
+  char probe[32];
+  std::snprintf(probe, sizeof(probe), "%.1f", 1.5);
+  const bool comma_locale = std::string(probe).find(',') != std::string::npos;
+
+  JsonWriter w;
+  w.begin_array().value(1.5).value(0.12345678901234567).value(1e-9).value(-2.75e20).end_array();
+  const std::string under_locale = w.str();
+  std::setlocale(LC_ALL, saved.c_str());
+
+  if (!comma_locale) GTEST_SKIP() << "locale accepted but uses a decimal point";
+  EXPECT_EQ(under_locale, reference);
+  EXPECT_EQ(under_locale.find(','), reference.find(','));  // array commas only
 }
 
 // Full-precision serialization of every per-run result: the byte string

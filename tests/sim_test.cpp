@@ -305,6 +305,58 @@ TEST(Engine, CompactionPreservesTimeSeqDispatchOrder) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(Engine, DigestInvariantAcrossCompactionBoundary) {
+  // Two engines with identical schedule histories and identical final
+  // live sets, but mechanically different cancellation paths: A cancels
+  // all victims in one burst (crossing the maybe_compact threshold),
+  // while B drains half its cancelled entries through run_until first
+  // and never compacts. Logical state is equal, so digests must match.
+  Engine a;
+  Engine b;
+  std::vector<EventId> victims_a;
+  std::vector<EventId> victims_b;
+  for (int i = 0; i < 140; ++i) {
+    a.schedule_at(hours(1) + sec(i), [] {});
+    b.schedule_at(hours(1) + sec(i), [] {});
+  }
+  for (int i = 0; i < 150; ++i) {
+    victims_a.push_back(a.schedule_at(sec(1 + i), [] {}));
+    victims_b.push_back(b.schedule_at(sec(1 + i), [] {}));
+  }
+
+  for (const EventId id : victims_a) a.cancel(id);  // compacts mid-burst
+
+  for (int i = 0; i < 100; ++i) b.cancel(victims_b[static_cast<std::size_t>(i)]);
+  b.run_until(0);  // pops the cancelled heads without advancing the clock
+  for (int i = 100; i < 150; ++i) b.cancel(victims_b[static_cast<std::size_t>(i)]);
+
+  // The mechanical histories really did diverge...
+  EXPECT_NE(a.queued_entries(), b.queued_entries());
+  // ...but the logical state did not.
+  EXPECT_EQ(a.pending_events(), b.pending_events());
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.live_events(), b.live_events());
+}
+
+TEST(Engine, DigestReflectsClockSeqAndLiveSet) {
+  Engine engine;
+  const std::uint64_t empty = engine.digest();
+  const EventId id = engine.schedule_at(sec(5), [] {});
+  const std::uint64_t with_event = engine.digest();
+  EXPECT_NE(empty, with_event);
+  engine.cancel(id);
+  // Cancelling restores the live set but not next_seq: an engine that
+  // consumed an id will order future same-time events differently, so
+  // the digest must not return to the empty-engine value.
+  EXPECT_NE(engine.digest(), empty);
+  EXPECT_NE(engine.digest(), with_event);
+
+  // Pure clock advance (no events) changes the digest too.
+  const std::uint64_t before = engine.digest();
+  engine.run_until(sec(1));
+  EXPECT_NE(engine.digest(), before);
+}
+
 // Regression: stopping from inside the callback and restarting in the
 // same invocation must yield exactly one fresh chain (no lost or doubled
 // fires).

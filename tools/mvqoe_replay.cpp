@@ -1,0 +1,164 @@
+// mvqoe_replay — record, verify and bisect deterministic runs.
+//
+//   mvqoe_replay record <blob> [--family=F] [--height=H] [--fps=N]
+//                              [--duration=S] [--state=L] [--seed=N]
+//                              [--interval=S]
+//       Run the scenario, sampling the full-state digest every
+//       --interval seconds, and write the blob (scenario + digest trail
+//       + final per-subsystem state).
+//
+//   mvqoe_replay info <blob>
+//       Print the scenario, checkpoint trail and subsystem digests.
+//
+//   mvqoe_replay verify <blob> [--perturb-at=S]
+//       Re-run the scenario and compare every checkpoint digest.
+//       --perturb-at flips one RNG bit S seconds into playback (a
+//       manufactured divergence, for demos and tests).
+//
+//   mvqoe_replay bisect <blob> --perturb-at=S
+//       Localize the divergence the perturbation causes: binary-search
+//       the digest trail (each probe is a fresh replay), then lockstep
+//       two drivers through the first bad interval to name the first
+//       diverging event and subsystem.
+//
+// Exit status: 0 on success / digests match, 1 on mismatch or divergence,
+// 2 on usage or I/O errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "snapshot/replay/record.hpp"
+
+namespace {
+
+using namespace mvqoe;
+using namespace mvqoe::snapshot;
+using namespace mvqoe::snapshot::replay;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mvqoe_replay record <blob> [--family=F] [--height=H] [--fps=N]\n"
+               "                                  [--duration=S] [--state=L] [--seed=N]\n"
+               "                                  [--interval=S]\n"
+               "       mvqoe_replay info   <blob>\n"
+               "       mvqoe_replay verify <blob> [--perturb-at=S]\n"
+               "       mvqoe_replay bisect <blob> --perturb-at=S\n"
+               "families:");
+  for (const std::string& family : scenario_families()) {
+    std::fprintf(stderr, " %s", family.c_str());
+  }
+  std::fprintf(stderr, "\nstates: normal moderate low critical\n");
+  return 2;
+}
+
+std::optional<std::string> flag_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<mem::PressureLevel> parse_state(const std::string& s) {
+  if (s == "normal") return mem::PressureLevel::Normal;
+  if (s == "moderate") return mem::PressureLevel::Moderate;
+  if (s == "low") return mem::PressureLevel::Low;
+  if (s == "critical") return mem::PressureLevel::Critical;
+  return std::nullopt;
+}
+
+int cmd_record(const std::string& path, int argc, char** argv) {
+  ScenarioSpec scen;
+  RecordOptions options;
+  if (const auto v = flag_value(argc, argv, "--family")) scen.family = *v;
+  if (const auto v = flag_value(argc, argv, "--height")) scen.height = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--fps")) scen.fps = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--duration")) scen.duration_s = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--seed")) {
+    scen.seed = std::strtoull(v->c_str(), nullptr, 0);
+  }
+  if (const auto v = flag_value(argc, argv, "--state")) {
+    const auto state = parse_state(*v);
+    if (!state.has_value()) return usage();
+    scen.state = *state;
+  }
+  if (const auto v = flag_value(argc, argv, "--interval")) {
+    options.interval = sim::sec(std::atoi(v->c_str()));
+  }
+  if (const auto v = flag_value(argc, argv, "--perturb-at")) {
+    options.perturb_at = sim::sec(std::atoi(v->c_str()));
+  }
+  const Snapshot snap = record_run(scen, options);
+  if (!Snapshot::write_file(path, snap)) {
+    std::fprintf(stderr, "mvqoe_replay: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  const ReplayMeta meta = load_meta(snap);
+  std::printf("recorded %s: %zu checkpoints every %lds, final digest %016llx\n", path.c_str(),
+              load_trail(snap).size(), static_cast<long>(sim::to_seconds(meta.interval)),
+              static_cast<unsigned long long>(meta.final_digest));
+  return 0;
+}
+
+int cmd_info(const Snapshot& snap) {
+  ByteReader r(snap.require(kScenTag));
+  const ScenarioSpec scen = load_scenario(r);
+  const ReplayMeta meta = load_meta(snap);
+  std::printf("scenario: family=%s %dp@%dfps duration=%ds state=%s seed=%llu\n",
+              scen.family.c_str(), scen.height, scen.fps, scen.duration_s,
+              mem::to_string(scen.state), static_cast<unsigned long long>(scen.seed));
+  std::printf("recorded: interval=%lds video_start=%.3fs end=+%lds status=%s\n",
+              static_cast<long>(sim::to_seconds(meta.interval)),
+              sim::to_seconds(meta.video_start),
+              static_cast<long>(sim::to_seconds(meta.end_offset)),
+              core::to_string(static_cast<core::RunStatus>(meta.status)));
+  std::printf("trail:\n");
+  for (const TrailEntry& entry : load_trail(snap)) {
+    std::printf("  +%4lds  %016llx\n", static_cast<long>(sim::to_seconds(entry.offset)),
+                static_cast<unsigned long long>(entry.digest));
+  }
+  std::printf("subsystems at end:\n");
+  for (const auto& [name, digest] : load_subsystem_digests(snap)) {
+    std::printf("  %-8s %016llx\n", name.c_str(), static_cast<unsigned long long>(digest));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  try {
+    if (command == "record") return cmd_record(path, argc, argv);
+
+    const Snapshot snap = Snapshot::read_file(path);
+    if (command == "info") return cmd_info(snap);
+
+    std::optional<sim::Time> perturb_at;
+    if (const auto v = flag_value(argc, argv, "--perturb-at")) {
+      perturb_at = sim::sec(std::atoi(v->c_str()));
+    }
+    if (command == "verify") {
+      const VerifyReport report = verify_replay(snap, perturb_at);
+      std::printf("%s\n", format_report(report).c_str());
+      return report.ok ? 0 : 1;
+    }
+    if (command == "bisect") {
+      if (!perturb_at.has_value()) return usage();
+      const DivergenceReport report = bisect_divergence(snap, *perturb_at);
+      std::printf("%s\n", format_report(report).c_str());
+      return report.diverged ? 1 : 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mvqoe_replay: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
