@@ -31,29 +31,35 @@ int main(int argc, char** argv) {
   constexpr int kEncoded[] = {60, 48, 24};
 
   const auto batch = runner::run_batch(heights.size(), jobs, [&](std::size_t i) {
-    core::VideoRunSpec spec;
-    spec.device = core::nokia1();
-    spec.height = heights[i];
-    spec.fps = 60;
-    spec.asset = video::dubai_flow_motion(duration);
+    // Declarative scenario (DESIGN.md §11): one Nokia 1 world with one
+    // video session; the legacy VideoRunSpec tuple maps onto it 1:1.
+    scenario::ScenarioSpec spec;
+    spec.family.clear();
+    spec.device_override = core::nokia1();
     spec.seed = 5;
+    scenario::VideoWorkloadSpec session;
+    session.height = heights[i];
+    session.fps = 60;
+    session.duration_s = duration;
+    session.seed = 5;
 
     // Scripted frame-rate schedule: thirds of the session.
     const video::BitrateLadder ladder = video::BitrateLadder::youtube();
     const int segments = duration / 4;
     std::vector<video::ScheduledAbr::Step> steps;
-    steps.push_back({0, *ladder.find(spec.height, 60)});
-    steps.push_back({segments / 3, *ladder.find(spec.height, 48)});
-    steps.push_back({2 * segments / 3, *ladder.find(spec.height, 24)});
+    steps.push_back({0, *ladder.find(session.height, 60)});
+    steps.push_back({segments / 3, *ladder.find(session.height, 48)});
+    steps.push_back({2 * segments / 3, *ladder.find(session.height, 24)});
     video::ScheduledAbr abr(steps);
-    spec.abr = &abr;
+    session.abr = &abr;
+    spec.workloads.emplace_back(std::move(session));
 
-    core::VideoExperiment experiment(spec);
-    const auto result = experiment.run();
+    const auto scen = scenario::run_scenario(spec);
+    const auto& result = scen.sessions.at(0).result;
     const auto& series = result.metrics.presented_per_second;
 
     HeightResult out;
-    out.height = spec.height;
+    out.height = heights[i];
     const std::size_t phase = series.size() / 3;
     for (int p = 0; p < 3; ++p) {
       double total = 0.0;
@@ -111,9 +117,12 @@ int main(int argc, char** argv) {
   bench::section("warm-start sweep: cold vs forked-warm (same seeds, same bytes)");
   {
     using clock = std::chrono::steady_clock;
-    core::VideoRunSpec proto;
-    proto.device = core::nokia1();
-    proto.asset = video::dubai_flow_motion(bench::video_duration_s(16));
+    scenario::ScenarioSpec proto;
+    proto.family.clear();
+    proto.device_override = core::nokia1();
+    scenario::VideoWorkloadSpec session;
+    session.duration_s = bench::video_duration_s(16);
+    proto.workloads.emplace_back(std::move(session));
     // Organic background churn is the expensive shared phase (launching
     // and settling 20 apps dwarfs synthetic induction) — the setup where
     // re-simulating the world per cell actually hurts.

@@ -3,7 +3,7 @@
 // Paper: heavy FPS losses at 60, mitigated by switching to 24.
 // We additionally run the same scenario under the §6-inspired
 // MemoryAwareAbr to quantify the proposal the paper motivates.
-#include "abr/policies.hpp"
+#include "video/abr_policy.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -72,7 +72,7 @@ int main() {
   // signals does the switch automatically.
   bench::section("memory-aware ABR vs fixed 60 FPS (same organic pressure)");
   const auto fixed = run_with(nullptr, duration, 6);
-  abr::MemoryAwareAbr aware(std::make_unique<abr::RateBasedAbr>(60));
+  video::MemoryAwareAbr aware(std::make_unique<video::RateBasedAbr>(60));
   const auto adaptive = run_with(&aware, duration, 6);
   std::printf("  fixed 480p60:      drop %5.1f%%  crashed=%s\n", 100.0 * fixed.outcome.drop_rate,
               fixed.outcome.crashed ? "yes" : "no");

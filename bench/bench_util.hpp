@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "runner/scenario_batch.hpp"
 #include "runner/video_batch.hpp"
 
 namespace mvqoe::bench {
@@ -88,12 +89,17 @@ struct SweepCell {
 /// json_name is given the cells are also dumped to BENCH_<json_name>.json.
 inline std::vector<SweepCell> run_sweep(const SweepSpec& sweep, int runs, int duration_s,
                                         int jobs = 0, const char* json_name = nullptr) {
-  core::VideoRunSpec proto;
-  proto.device = sweep.device;
-  proto.platform = sweep.platform;
-  proto.asset = video::dubai_flow_motion(duration_s);
-  const auto grid = runner::run_sweep_grid(proto, sweep.states, sweep.fps, sweep.heights, runs,
-                                           jobs, sweep.base_seed);
+  // Declarative proto (DESIGN.md §11): one custom-device scenario with a
+  // single video workload; each grid cell retargets its height/fps/seed.
+  scenario::ScenarioSpec proto;
+  proto.family.clear();
+  proto.device_override = sweep.device;
+  scenario::VideoWorkloadSpec video;
+  video.platform = sweep.platform;
+  video.duration_s = duration_s;
+  proto.workloads.emplace_back(std::move(video));
+  const auto grid = runner::run_scenario_sweep_grid(proto, sweep.states, sweep.fps, sweep.heights,
+                                                    runs, jobs, sweep.base_seed);
   if (json_name != nullptr) {
     const std::string path =
         runner::write_sweep_json(json_name, grid, runs, runner::resolve_jobs(jobs),

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "abr/policies.hpp"
+#include "video/abr_policy.hpp"
 #include "core/experiment.hpp"
 
 namespace {
@@ -42,18 +42,18 @@ int main() {
 
   report("fixed 720p60", run_policy(nullptr, 3));
 
-  abr::RateBasedAbr rate_based(60);
+  video::RateBasedAbr rate_based(60);
   report("rate-based (network-only)", run_policy(&rate_based, 3));
 
-  abr::BufferBasedAbr buffer_based(60);
+  video::BufferBasedAbr buffer_based(60);
   report("buffer-based / BBA", run_policy(&buffer_based, 3));
 
-  abr::BolaAbr bola(60);
+  video::BolaAbr bola(60);
   report("BOLA", run_policy(&bola, 3));
 
   // The §6 proposal: wrap any network policy with memory-pressure caps
   // that trade frame rate before resolution.
-  abr::MemoryAwareAbr aware(std::make_unique<abr::RateBasedAbr>(60));
+  video::MemoryAwareAbr aware(std::make_unique<video::RateBasedAbr>(60));
   report("memory-aware(rate-based)", run_policy(&aware, 3));
 
   std::printf("\nThe memory-aware policy reacts to onTrimMemory signals by capping the frame\n");

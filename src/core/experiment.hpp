@@ -2,77 +2,25 @@
 // under Normal / Moderate / Critical synthetic pressure or organic
 // background-app pressure, repeated across seeds, aggregated with 95%
 // CIs — the harness behind Figs 8-19 and Tables 2-5.
+//
+// VideoExperiment is a compatibility adapter over the scenario driver
+// (DESIGN.md §11): a VideoRunSpec maps onto a single-video ScenarioSpec
+// via scenario::from_run_spec, and every phase call delegates 1:1 — the
+// event sequence (and hence every digest and blob byte) is identical
+// with the pre-scenario implementation. New code should use
+// scenario::ScenarioDriver directly; this surface stays for the single-
+// video benches and the trace-analysis harnesses that dissect the
+// testbed afterwards.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/pressure_inducer.hpp"
-#include "core/testbed.hpp"
-#include "fault/fault_injector.hpp"
-#include "fault/watchdog.hpp"
-#include "qoe/metrics.hpp"
-#include "snapshot/blob.hpp"
-#include "video/session.hpp"
+#include "core/run_spec.hpp"
+#include "scenario/driver.hpp"
 
 namespace mvqoe::core {
-
-struct VideoRunSpec {
-  DeviceProfile device = nexus5();
-  video::VideoAsset asset = video::dubai_flow_motion();
-  int height = 1080;
-  int fps = 30;
-  video::PlayerPlatform platform = video::PlayerPlatform::Firefox;
-  /// Synthetic pressure target, applied MP-Simulator style before the
-  /// video starts (§4.1). Ignored when organic_background_apps > 0.
-  mem::PressureLevel pressure = mem::PressureLevel::Normal;
-  /// Organic pressure instead: open this many top-free apps (no games)
-  /// before launching the player (§4.3).
-  int organic_background_apps = 0;
-  std::uint64_t seed = 1;
-  /// World (boot + pressure-inducement) seed, when it must differ from
-  /// the per-run seed: warm-start sweeps pre-roll one world per
-  /// (state, rep) group and fork many video cells from it, so every cell
-  /// of a group shares the world stream while its video stream (`seed`)
-  /// varies. Unset = world follows `seed` (the plain single-run path).
-  std::optional<std::uint64_t> world_seed;
-  /// ABR policy; null = fixed rung (the controlled sweeps).
-  video::AbrPolicy* abr = nullptr;
-  /// Override the session defaults when set.
-  std::optional<video::SessionConfig> session_override;
-  /// Fault script, armed when the video starts (plan times are relative
-  /// to video start). Kill entries with pid 0 target the video client.
-  fault::FaultPlan fault_plan;
-  /// Session recovery knobs (applied on top of session_override).
-  std::optional<video::RecoveryConfig> recovery;
-  /// Run the invariant watchdog alongside the video and report its
-  /// violations in the result (debug/test harnesses).
-  bool run_watchdog = false;
-};
-
-/// How a run ended — structured partial results instead of a bare crash
-/// bit, so fault scenarios can assert on the exact failure mode.
-enum class RunStatus : std::uint8_t {
-  Completed,  // played to the end (possibly after absorbed kills)
-  Crashed,    // client killed terminally (no relaunch budget left)
-  Aborted,    // unrecoverable download failure (retry budget exhausted)
-  TimedOut,   // did not finish within the horizon (unplayable/livelock)
-};
-
-const char* to_string(RunStatus status) noexcept;
-
-struct VideoRunResult {
-  qoe::RunOutcome outcome;
-  video::SessionMetrics metrics;
-  RunStatus status = RunStatus::Completed;
-  std::string failure_reason;
-  /// Pressure level observed when playback started.
-  mem::PressureLevel start_level = mem::PressureLevel::Normal;
-  /// Populated when spec.run_watchdog was set.
-  std::vector<fault::WatchdogViolation> watchdog_violations;
-};
 
 /// A single run with full access to the testbed afterwards — the §5
 /// trace-analysis benches (Tables 4/5, Figs 13-15) dissect the tracer.
@@ -90,61 +38,36 @@ class VideoExperiment {
   VideoRunResult run();
 
   // --- Phased execution (checkpoint/replay + warm-start surface) ---------
-  /// Phase 1: boot the testbed and apply the pressure regime (organic or
-  /// MP-Simulator style). Ends at the quiescent point right before the
-  /// session is built — the warm-start fork boundary.
   void prepare();
-  /// Retarget the video cell between prepare() and start_video(): the
-  /// warm path forks one prepared world for many (height, fps) cells,
-  /// each with its own video seed.
   void set_cell(int height, int fps, std::uint64_t video_seed);
-  /// Phase 2: build the session config, arm faults/watchdog and start
-  /// the session. Playback deadlines begin here.
   void start_video();
-  /// Phase 3: advance playback by one 1-second slice (the exact cadence
-  /// run() uses — slice boundaries are observable through the horizon
-  /// check, so replay must reproduce them). Returns false when the video
-  /// finished or the horizon passed, without advancing.
   bool advance_slice();
   bool video_done() const noexcept;
-  /// Phase 4: disarm faults, finalize the trace and assemble the result.
   VideoRunResult finalize();
 
-  // --- Snapshot surface ---------------------------------------------------
-  /// Serialize every subsystem into tagged sections of `snap`.
+  // --- Snapshot surface (delegates to the component registry) ------------
   void save_state(snapshot::Snapshot& snap) const;
-  /// Canonical digest over all subsystem save() bytes.
   std::uint64_t state_digest() const;
-  /// Per-subsystem (tag name, digest) pairs, in a fixed order — the
-  /// bisection report uses these to name the first diverging subsystem.
   std::vector<std::pair<std::string, std::uint64_t>> subsystem_digests() const;
 
-  Testbed& testbed() noexcept { return *testbed_; }
-  const Testbed& testbed() const noexcept { return *testbed_; }
-  video::VideoSession& session() noexcept { return *session_; }
+  /// The underlying scenario driver, for surfaces the adapter does not
+  /// mirror (per-workload access, multi-session extensions).
+  scenario::ScenarioDriver& driver() noexcept { return driver_; }
+  const scenario::ScenarioDriver& driver() const noexcept { return driver_; }
+
+  Testbed& testbed() noexcept { return driver_.testbed(); }
+  const Testbed& testbed() const noexcept { return driver_.testbed(); }
+  video::VideoSession& session() noexcept { return *driver_.video().session(); }
   /// Non-null while a fault plan is active (after run() started it).
-  fault::FaultInjector* injector() noexcept { return injector_.get(); }
+  fault::FaultInjector* injector() noexcept { return driver_.injector(); }
   /// Simulated time at which playback (frame deadlines) began.
-  sim::Time playback_start() const noexcept;
+  sim::Time playback_start() const noexcept { return driver_.playback_start(0); }
   /// Simulated time start_video() ran at (-1 before then).
-  sim::Time video_start() const noexcept { return video_start_; }
-  sim::Time horizon() const noexcept { return horizon_; }
+  sim::Time video_start() const noexcept { return driver_.video_start(); }
+  sim::Time horizon() const noexcept { return driver_.horizon(); }
 
  private:
-  VideoRunSpec spec_;
-  std::unique_ptr<Testbed> testbed_;
-  std::unique_ptr<PressureInducer> inducer_;
-  std::unique_ptr<video::VideoSession> session_;
-  std::unique_ptr<fault::FaultInjector> injector_;
-  std::unique_ptr<fault::InvariantWatchdog> watchdog_;
-
-  bool prepared_ = false;
-  bool video_started_ = false;
-  bool finished_ = false;
-  mem::PressureLevel start_level_ = mem::PressureLevel::Normal;
-  video::SessionConfig config_;
-  sim::Time video_start_ = -1;
-  sim::Time horizon_ = -1;
+  scenario::ScenarioDriver driver_;
 };
 
 /// Convenience single run.

@@ -1,0 +1,62 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvqoe::core {
+
+void ComponentRegistry::add(int order, std::uint32_t tag, std::string name, SaveFn save,
+                            DigestFn digest) {
+  if (has(tag)) {
+    throw std::invalid_argument("registry: duplicate snapshot tag '" + snapshot::tag_name(tag) +
+                                "'");
+  }
+  Entry entry;
+  entry.order = order;
+  entry.seq = entries_.size();
+  entry.tag = tag;
+  entry.name = std::move(name);
+  entry.save = std::move(save);
+  entry.digest = std::move(digest);
+  entries_.push_back(std::move(entry));
+}
+
+bool ComponentRegistry::has(std::uint32_t tag) const noexcept {
+  for (const Entry& entry : entries_) {
+    if (entry.tag == tag) return true;
+  }
+  return false;
+}
+
+std::vector<const ComponentRegistry::Entry*> ComponentRegistry::sorted() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(), [](const Entry* a, const Entry* b) {
+    return a->order != b->order ? a->order < b->order : a->seq < b->seq;
+  });
+  return out;
+}
+
+void ComponentRegistry::save_state(snapshot::Snapshot& snap) const {
+  for (const Entry* entry : sorted()) {
+    snapshot::ByteWriter w;
+    entry->save(w);
+    snap.put(entry->tag, std::move(w));
+  }
+}
+
+std::uint64_t ComponentRegistry::state_digest() const {
+  snapshot::Snapshot snap;
+  save_state(snap);
+  return snap.digest();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ComponentRegistry::digests() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const Entry* entry : sorted()) out.emplace_back(entry->name, entry->digest());
+  return out;
+}
+
+}  // namespace mvqoe::core

@@ -1,0 +1,73 @@
+// Snapshot component registry (DESIGN.md §11).
+//
+// Every stateful component — the six wired subsystems, plus whatever
+// workloads a scenario adds (video sessions, fault injectors, pressure
+// inducers, the ambient system-activity driver) — registers its
+// save()/digest() hooks here with a fixed ordering key and a fourcc tag.
+// Snapshot serialization and the per-subsystem digest lists walk the
+// registry instead of a hand-maintained list, so adding a workload can
+// never silently drop a section from checkpoint/replay.
+//
+// Ordering keys reproduce the legacy section order byte-for-byte:
+//   0-5    ENGN SCHD MEMM LINK STOR PROC  (Testbed constructor)
+//   10+2k  VIDE/VID1/...   k-th video session
+//   11+2k  FALT/FLT1/...   k-th session's fault injector
+//   100    SYSA            system activity (registered at boot)
+//   110+j  INDC/IND1/...   j-th pressure inducer
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snapshot/blob.hpp"
+#include "snapshot/bytes.hpp"
+
+namespace mvqoe::core {
+
+class ComponentRegistry {
+ public:
+  using SaveFn = std::function<void(snapshot::ByteWriter&)>;
+  using DigestFn = std::function<std::uint64_t()>;
+
+  /// Register a component. Throws std::invalid_argument on a duplicate
+  /// tag — a collision means two components would overwrite each other's
+  /// blob section, which must fail loudly, not at replay time.
+  void add(int order, std::uint32_t tag, std::string name, SaveFn save, DigestFn digest);
+
+  /// Convenience for the common `obj->save(w)` / `obj->digest()` shape.
+  template <typename T>
+  void add(int order, const char (&tag4)[5], std::string name, const T* obj) {
+    add(order, snapshot::tag(tag4), std::move(name),
+        [obj](snapshot::ByteWriter& w) { obj->save(w); }, [obj] { return obj->digest(); });
+  }
+
+  bool has(std::uint32_t tag) const noexcept;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Serialize every component into tagged sections of `snap`, in key
+  /// order (ties broken by registration order).
+  void save_state(snapshot::Snapshot& snap) const;
+  /// Canonical digest over all component save() bytes (same ordering).
+  std::uint64_t state_digest() const;
+  /// Per-component (name, digest) pairs, in the same fixed order — the
+  /// bisection report uses these to name the first diverging component.
+  std::vector<std::pair<std::string, std::uint64_t>> digests() const;
+
+ private:
+  struct Entry {
+    int order = 0;
+    std::size_t seq = 0;  // registration order, the tie-breaker
+    std::uint32_t tag = 0;
+    std::string name;
+    SaveFn save;
+    DigestFn digest;
+  };
+
+  std::vector<const Entry*> sorted() const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mvqoe::core

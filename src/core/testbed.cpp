@@ -11,7 +11,16 @@ Testbed::Testbed(DeviceProfile profile, std::uint64_t seed)
       link(engine, net::LinkConfig{}),
       am(memory),
       profile_(std::move(profile)),
-      seed_(seed) {}
+      seed_(seed) {
+  // The six wired subsystems, in the canonical snapshot section order
+  // (registry keys 0-5; see registry.hpp for the full key layout).
+  components_.add(0, "ENGN", "engine", &engine);
+  components_.add(1, "SCHD", "sched", &scheduler);
+  components_.add(2, "MEMM", "mem", &memory);
+  components_.add(3, "LINK", "link", &link);
+  components_.add(4, "STOR", "storage", &storage);
+  components_.add(5, "PROC", "proc", &am);
+}
 
 Testbed::~Testbed() = default;
 
@@ -19,11 +28,19 @@ void Testbed::add_background_duty(mem::ProcessId pid, sim::Time period) {
   if (system_activity_ != nullptr) system_activity_->add_process(pid, period);
 }
 
+Workload& Testbed::add_workload(std::unique_ptr<Workload> workload) {
+  workloads_.push_back(std::move(workload));
+  Workload& added = *workloads_.back();
+  added.register_components(components_);
+  return added;
+}
+
 void Testbed::boot() {
   am.boot(profile_.system_scale, profile_.baseline_cached);
   am.enable_respawn(engine, profile_.baseline_cached);
   system_activity_ = std::make_unique<SystemActivity>(*this);
   system_activity_->start();
+  components_.add(100, "SYSA", "sysact", system_activity_.get());
   // Let launch allocations and any boot-time reclaim settle.
   engine.run_until(engine.now() + sim::sec(2));
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "scenario/driver.hpp"
 #include "snapshot/bytes.hpp"
 #include "stats/rng.hpp"
 
@@ -66,17 +67,17 @@ CellRunOutcome decode_outcome(snapshot::ByteReader& r) {
   return result;
 }
 
-/// Video phase of one cell on an already-prepared experiment. Runs in the
-/// forked child (warm) — never returns an exception across the pipe.
-CellRunOutcome run_cell_video(core::VideoExperiment& exp, int height, int fps,
+/// Video phase of one cell on an already-prepared scenario world. Runs in
+/// the forked child (warm) — never returns an exception across the pipe.
+CellRunOutcome run_cell_video(scenario::ScenarioDriver& driver, int height, int fps,
                               std::uint64_t video_seed) {
   CellRunOutcome result;
   try {
-    exp.set_cell(height, fps, video_seed);
-    exp.start_video();
-    while (exp.advance_slice()) {
+    driver.set_cell(height, fps, video_seed);
+    driver.start();
+    while (driver.advance_slice()) {
     }
-    result.outcome = exp.finalize().outcome;
+    result.outcome = driver.finalize().sessions.at(0).result.outcome;
     result.ok = true;
   } catch (const std::exception& e) {
     result.error = e.what();
@@ -120,8 +121,8 @@ struct PendingCell {
   std::uint64_t video_seed = 0;
 };
 
-void fork_group(core::VideoExperiment& exp, const std::vector<PendingCell>& pending, int workers,
-                std::vector<CellRunOutcome>& outcomes) {
+void fork_group(scenario::ScenarioDriver& driver, const std::vector<PendingCell>& pending,
+                int workers, std::vector<CellRunOutcome>& outcomes) {
   struct Child {
     pid_t pid = -1;
     int fd = -1;
@@ -147,7 +148,7 @@ void fork_group(core::VideoExperiment& exp, const std::vector<PendingCell>& pend
       if (pid == 0) {
         ::close(fds[0]);
         snapshot::ByteWriter w;
-        encode_outcome(w, run_cell_video(exp, cell.height, cell.fps, cell.video_seed));
+        encode_outcome(w, run_cell_video(driver, cell.height, cell.fps, cell.video_seed));
         write_all(fds[1], w.view());
         ::close(fds[1]);
         ::_exit(0);  // no destructors/atexit — the child is a throwaway world
@@ -196,7 +197,7 @@ std::uint64_t sweep_video_seed(std::uint64_t group_seed, int height, int fps) no
 bool warm_fork_supported() noexcept { return MVQOE_WARM_FORK != 0; }
 
 std::vector<SweepCellResult> run_sweep_grid_shared(
-    const core::VideoRunSpec& proto, const std::vector<mem::PressureLevel>& states,
+    const scenario::ScenarioSpec& proto, const std::vector<mem::PressureLevel>& states,
     const std::vector<int>& fps, const std::vector<int>& heights, int runs, int jobs,
     std::uint64_t base_seed, SweepMode mode) {
   std::vector<SweepCellResult> cells;
@@ -227,12 +228,13 @@ std::vector<SweepCellResult> run_sweep_grid_shared(
     for (std::size_t s = 0; s < states.size(); ++s) {
       for (int run = 0; run < runs; ++run) {
         const std::uint64_t group_seed = sweep_group_seed(base_seed, states[s], run);
-        core::VideoRunSpec world_spec = proto;
-        world_spec.pressure = states[s];
+        scenario::ScenarioSpec world_spec = proto;
+        world_spec.state = states[s];
         world_spec.world_seed = group_seed;
-        world_spec.seed = group_seed;  // placeholder; every cell retargets
-        core::VideoExperiment exp(world_spec);
-        exp.prepare();  // the shared phase, simulated once per group
+        world_spec.seed = group_seed;                          // placeholder;
+        scenario::video_spec(world_spec).seed = group_seed;    // every cell retargets
+        scenario::ScenarioDriver driver(world_spec);
+        driver.prepare();  // the shared phase, simulated once per group
 
         std::vector<PendingCell> pending;
         for (std::size_t c = 0; c < cells_per_state; ++c) {
@@ -241,7 +243,7 @@ std::vector<SweepCellResult> run_sweep_grid_shared(
           pending.push_back(PendingCell{slot_of(cell_index, run), cell.height, cell.fps,
                                         sweep_video_seed(group_seed, cell.height, cell.fps)});
         }
-        fork_group(exp, pending, workers, outcomes);
+        fork_group(driver, pending, workers, outcomes);
       }
     }
 #endif
@@ -254,19 +256,22 @@ std::vector<SweepCellResult> run_sweep_grid_shared(
       const int run = static_cast<int>(task % static_cast<std::size_t>(runs));
       const SweepCellResult& cell = cells[cell_index];
       const std::uint64_t group_seed = sweep_group_seed(base_seed, cell.state, run);
-      core::VideoRunSpec spec = proto;
-      spec.height = cell.height;
-      spec.fps = cell.fps;
-      spec.pressure = cell.state;
+      scenario::ScenarioSpec spec = proto;
+      scenario::VideoWorkloadSpec& video = scenario::video_spec(spec);
+      video.height = cell.height;
+      video.fps = cell.fps;
+      spec.state = cell.state;
       spec.world_seed = group_seed;
-      spec.seed = sweep_video_seed(group_seed, cell.height, cell.fps);
-      return core::run_video(spec);
+      const std::uint64_t video_seed = sweep_video_seed(group_seed, cell.height, cell.fps);
+      spec.seed = video_seed;
+      video.seed = video_seed;
+      return scenario::run_scenario(spec).sessions.at(0).result.outcome;
     });
     for (std::size_t task = 0; task < result.runs.size(); ++task) {
       CellRunOutcome& out = outcomes[task];  // same cell-major layout
       if (result.runs[task].ok) {
         out.ok = true;
-        out.outcome = result.runs[task].value.outcome;
+        out.outcome = result.runs[task].value;
       } else {
         out.error = result.runs[task].error;
       }

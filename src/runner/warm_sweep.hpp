@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "runner/video_batch.hpp"
+#include "scenario/spec.hpp"
 
 namespace mvqoe::runner {
 
@@ -40,8 +41,10 @@ bool warm_fork_supported() noexcept;
 /// Shared-world sweep grid. Layout and reduction match run_sweep_grid
 /// (cells in state-major grid order, runs per cell in run order); only
 /// the seed scheme differs — cell_seed reports the run-0 video seed.
+/// `proto` is a ScenarioSpec whose first video workload each cell
+/// retargets (legacy callers build it with scenario::from_run_spec).
 std::vector<SweepCellResult> run_sweep_grid_shared(
-    const core::VideoRunSpec& proto, const std::vector<mem::PressureLevel>& states,
+    const scenario::ScenarioSpec& proto, const std::vector<mem::PressureLevel>& states,
     const std::vector<int>& fps, const std::vector<int>& heights, int runs, int jobs,
     std::uint64_t base_seed, SweepMode mode);
 

@@ -1,0 +1,60 @@
+// core::VideoExperiment, implemented as an adapter over the scenario
+// driver. Lives in the scenario library (core cannot link upward).
+#include "core/experiment.hpp"
+
+#include "stats/rng.hpp"
+
+namespace mvqoe::core {
+
+VideoExperiment::VideoExperiment(VideoRunSpec spec) : driver_(scenario::from_run_spec(spec)) {}
+
+VideoExperiment::~VideoExperiment() = default;
+
+VideoRunResult VideoExperiment::run() {
+  prepare();
+  start_video();
+  while (advance_slice()) {
+  }
+  return finalize();
+}
+
+void VideoExperiment::prepare() { driver_.prepare(); }
+
+void VideoExperiment::set_cell(int height, int fps, std::uint64_t video_seed) {
+  driver_.set_cell(height, fps, video_seed);
+}
+
+void VideoExperiment::start_video() { driver_.start(); }
+
+bool VideoExperiment::advance_slice() { return driver_.advance_slice(); }
+
+bool VideoExperiment::video_done() const noexcept { return driver_.done(); }
+
+VideoRunResult VideoExperiment::finalize() {
+  scenario::ScenarioResult scen = driver_.finalize();
+  VideoRunResult result = std::move(scen.sessions.at(0).result);
+  result.watchdog_violations = std::move(scen.watchdog_violations);
+  return result;
+}
+
+void VideoExperiment::save_state(snapshot::Snapshot& snap) const { driver_.save_state(snap); }
+
+std::uint64_t VideoExperiment::state_digest() const { return driver_.state_digest(); }
+
+std::vector<std::pair<std::string, std::uint64_t>> VideoExperiment::subsystem_digests() const {
+  return driver_.subsystem_digests();
+}
+
+VideoRunResult run_video(const VideoRunSpec& spec) { return VideoExperiment(spec).run(); }
+
+qoe::RunAggregate run_video_repeated(VideoRunSpec spec, int runs) {
+  qoe::RunAggregate aggregate;
+  const std::uint64_t base_seed = spec.seed;
+  for (int i = 0; i < runs; ++i) {
+    spec.seed = stats::derive_seed(base_seed, static_cast<std::uint64_t>(i) + 1);
+    aggregate.add(run_video(spec).outcome);
+  }
+  return aggregate;
+}
+
+}  // namespace mvqoe::core

@@ -45,7 +45,7 @@ Snapshot Snapshot::parse(std::string_view data) {
   ByteReader r(data);
   if (r.u32() != kMagic) throw std::runtime_error("snapshot: bad magic (not an MVQS blob)");
   const std::uint32_t version = r.u32();
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     throw std::runtime_error("snapshot: unsupported container version " + std::to_string(version));
   }
   const std::uint32_t count = r.u32();

@@ -26,7 +26,13 @@
 namespace mvqoe::snapshot {
 
 inline constexpr std::uint32_t kMagic = 0x5351564DU;  // "MVQS" LE
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Container format versions. v2 (scenario model): the SCEN section may
+/// carry a workload list and multi-session blobs may hold VID1/FLT1/...
+/// sections. v1 blobs (single-video tuple) still parse — the container
+/// layout is unchanged, only section contents evolved, and every section
+/// carries its own version.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 
 /// Four-character section tag, e.g. tag("ENGN").
 constexpr std::uint32_t tag(const char (&s)[5]) {

@@ -1,45 +1,45 @@
 #include "snapshot/replay/driver.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/system_activity.hpp"
 
 namespace mvqoe::snapshot::replay {
 
-ReplayDriver::ReplayDriver(ScenarioSpec scen)
-    : scen_(std::move(scen)), exp_(make_run_spec(scen_)) {}
+ReplayDriver::ReplayDriver(mvqoe::scenario::ScenarioSpec scen) : driver_(std::move(scen)) {}
 
 void ReplayDriver::start() {
-  exp_.prepare();
-  exp_.start_video();
+  driver_.prepare();
+  driver_.start();
 }
 
 bool ReplayDriver::advance_to_offset(sim::Time offset) {
-  const sim::Time target = exp_.video_start() + offset;
-  while (exp_.testbed().engine.now() < target) {
+  const sim::Time target = driver_.video_start() + offset;
+  while (driver_.testbed().engine.now() < target) {
     maybe_perturb();
-    if (!exp_.advance_slice()) return false;
+    if (!driver_.advance_slice()) return false;
   }
   maybe_perturb();
   return true;
 }
 
-bool ReplayDriver::done() const { return exp_.video_done(); }
+bool ReplayDriver::done() const { return driver_.done(); }
 
-sim::Time ReplayDriver::now() const { return exp_.testbed().engine.now(); }
+sim::Time ReplayDriver::now() const { return driver_.testbed().engine.now(); }
 
-sim::Time ReplayDriver::video_start() const { return exp_.video_start(); }
+sim::Time ReplayDriver::video_start() const { return driver_.video_start(); }
 
-std::uint64_t ReplayDriver::digest() const { return exp_.state_digest(); }
+std::uint64_t ReplayDriver::digest() const { return driver_.state_digest(); }
 
 std::vector<std::pair<std::string, std::uint64_t>> ReplayDriver::digests() const {
-  return exp_.subsystem_digests();
+  return driver_.subsystem_digests();
 }
 
-void ReplayDriver::save(Snapshot& snap) const { exp_.save_state(snap); }
+void ReplayDriver::save(Snapshot& snap) const { driver_.save_state(snap); }
 
 void ReplayDriver::perturb_now() {
-  core::SystemActivity* activity = exp_.testbed().system_activity();
+  core::SystemActivity* activity = driver_.testbed().system_activity();
   if (activity == nullptr) {
     throw std::runtime_error("snapshot: cannot perturb before the testbed booted");
   }
@@ -50,16 +50,16 @@ void ReplayDriver::perturb_now() {
 }
 
 std::optional<std::pair<sim::Time, std::uint64_t>> ReplayDriver::next_event() const {
-  const auto live = exp_.testbed().engine.live_events();
+  const auto live = driver_.testbed().engine.live_events();
   if (live.empty()) return std::nullopt;
   return live.front();
 }
 
-bool ReplayDriver::step_event() { return exp_.testbed().engine.step(); }
+bool ReplayDriver::step_event() { return driver_.testbed().engine.step(); }
 
 void ReplayDriver::maybe_perturb() {
   if (!perturb_at_.has_value() || perturbed_) return;
-  if (now() >= exp_.video_start() + *perturb_at_) perturb_now();
+  if (now() >= driver_.video_start() + *perturb_at_) perturb_now();
 }
 
 }  // namespace mvqoe::snapshot::replay

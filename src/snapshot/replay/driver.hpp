@@ -6,9 +6,11 @@
 // the *scenario* plus a digest trail, and "restore to T" means re-running
 // the scenario to T and proving equivalence by digest (DESIGN.md §10).
 //
-// The driver reproduces VideoExperiment::run()'s event sequence exactly —
+// The driver reproduces ScenarioDriver::run()'s event sequence exactly —
 // including its 1-second slice cadence, whose run_until boundaries are
 // observable state (the clock lands on them even when no event does).
+// Multi-session scenarios replay the same way: every session's state is a
+// registry component, so the digest trail covers all of them.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/driver.hpp"
 #include "snapshot/blob.hpp"
 #include "snapshot/replay/scenario.hpp"
 
@@ -24,9 +27,9 @@ namespace mvqoe::snapshot::replay {
 
 class ReplayDriver {
  public:
-  explicit ReplayDriver(ScenarioSpec scen);
+  explicit ReplayDriver(scenario::ScenarioSpec scen);
 
-  const ScenarioSpec& scenario() const noexcept { return scen_; }
+  const scenario::ScenarioSpec& scenario() const noexcept { return driver_.spec(); }
 
   /// Test/bisection hook: at the first slice boundary >= video_start +
   /// `offset`, flip one bit of the SystemActivity RNG state — the
@@ -34,13 +37,13 @@ class ReplayDriver {
   /// next consumed. Must be set before start().
   void set_perturb_at(sim::Time offset) { perturb_at_ = offset; }
 
-  /// Boot + pressure phase + video start (experiment phases 1-2).
+  /// Boot + pressure phase + session starts (scenario phases 1-2).
   void start();
 
   /// Advance in 1-second slices until video_start + `offset` (a whole
-  /// number of seconds). Returns false if the video finished (or hit its
-  /// horizon) before the target — the clock then rests on the last slice
-  /// boundary reached.
+  /// number of seconds). Returns false if the scenario finished (or hit
+  /// its horizon) before the target — the clock then rests on the last
+  /// slice boundary reached.
   bool advance_to_offset(sim::Time offset);
 
   bool done() const;
@@ -49,7 +52,7 @@ class ReplayDriver {
   /// Offset of the current slice boundary from video start.
   sim::Time offset() const { return now() - video_start(); }
 
-  /// Full-state digest / per-subsystem digests / serialized sections.
+  /// Full-state digest / per-component digests / serialized sections.
   std::uint64_t digest() const;
   std::vector<std::pair<std::string, std::uint64_t>> digests() const;
   void save(Snapshot& snap) const;
@@ -63,14 +66,13 @@ class ReplayDriver {
   std::optional<std::pair<sim::Time, std::uint64_t>> next_event() const;
   bool step_event();
 
-  core::VideoExperiment& experiment() noexcept { return exp_; }
-  core::VideoRunResult finalize() { return exp_.finalize(); }
+  mvqoe::scenario::ScenarioDriver& driver() noexcept { return driver_; }
+  mvqoe::scenario::ScenarioResult finalize() { return driver_.finalize(); }
 
  private:
   void maybe_perturb();
 
-  ScenarioSpec scen_;
-  core::VideoExperiment exp_;
+  mvqoe::scenario::ScenarioDriver driver_;
   std::optional<sim::Time> perturb_at_;
   bool perturbed_ = false;
 };

@@ -47,7 +47,7 @@ Snapshot record_run(const ScenarioSpec& scen, const RecordOptions& options) {
   driver.save(snap);
   const auto subsystem = driver.digests();
   const sim::Time video_start = driver.video_start();
-  const core::VideoRunResult result = driver.finalize();
+  const mvqoe::scenario::ScenarioResult result = driver.finalize();
   {
     ByteWriter w;
     w.u32(1);  // section version

@@ -23,8 +23,9 @@
 
 namespace mvqoe::snapshot::replay {
 
-/// Blob section tags owned by this layer (subsystem state sections —
-/// ENGN, SCHD, ... — are written by VideoExperiment::save_state).
+/// Blob section tags owned by this layer (component state sections —
+/// ENGN, SCHD, ..., VIDE/VID1/... — are written via the Testbed's
+/// component registry, see core/registry.hpp).
 inline constexpr std::uint32_t kScenTag = tag("SCEN");
 inline constexpr std::uint32_t kMetaTag = tag("META");
 inline constexpr std::uint32_t kTrailTag = tag("TRAL");

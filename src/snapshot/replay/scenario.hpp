@@ -1,48 +1,23 @@
-// Named, serializable experiment scenarios for record/replay.
-//
-// A ScenarioSpec pins everything a deterministic re-run needs: the
-// paper-figure family (which fixes device preset and player platform),
-// the video cell (height/fps/duration), the pressure state, the seed and
-// the fault plan. It serializes into the SCEN section of a replay blob,
-// so `mvqoe_replay verify` can reconstruct the exact run from the blob
-// alone — no command-line state to get wrong.
+// Compatibility re-exports: the serializable scenario model moved to
+// src/scenario (DESIGN.md §11), where it is the single source of truth
+// for benches, sweeps and this replay layer alike. This header keeps the
+// old snapshot::replay spellings alive for existing includes; new code
+// should include "scenario/spec.hpp" directly.
 #pragma once
 
-#include <string>
-
-#include "core/experiment.hpp"
-#include "fault/fault_injector.hpp"
-#include "mem/types.hpp"
-#include "snapshot/bytes.hpp"
+#include "scenario/spec.hpp"
 
 namespace mvqoe::snapshot::replay {
 
-/// Scenario families map to the paper's evaluation setups:
-///   fig09 / fig16 / table1 — Nokia 1, Firefox
-///   fig11                  — Nexus 5, Firefox
-///   fig18                  — Nexus 5, ExoPlayer
-///   fig19                  — Nexus 5, Chrome
-struct ScenarioSpec {
-  std::string family = "fig16";
-  int height = 1080;
-  int fps = 30;
-  int duration_s = 60;
-  mem::PressureLevel state = mem::PressureLevel::Normal;
-  std::uint64_t seed = 1;
-  fault::FaultPlan fault_plan;
-};
+using scenario::ScenarioSpec;
+using scenario::VideoWorkloadSpec;
 
-/// All recognised family names, in canonical order.
-const std::vector<std::string>& scenario_families();
-
-/// Translate a scenario into a concrete run spec. Throws
-/// std::runtime_error for an unknown family.
-core::VideoRunSpec make_run_spec(const ScenarioSpec& scen);
-
-void save_scenario(ByteWriter& w, const ScenarioSpec& scen);
-ScenarioSpec load_scenario(ByteReader& r);
-
-void save_fault_plan(ByteWriter& w, const fault::FaultPlan& plan);
-fault::FaultPlan load_fault_plan(ByteReader& r);
+using scenario::load_fault_plan;
+using scenario::load_scenario;
+using scenario::save_fault_plan;
+using scenario::save_scenario;
+using scenario::scenario_families;
+using scenario::single_video;
+using scenario::video_spec;
 
 }  // namespace mvqoe::snapshot::replay

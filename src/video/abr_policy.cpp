@@ -1,10 +1,10 @@
-#include "abr/policies.hpp"
+#include "video/abr_policy.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <vector>
 
-namespace mvqoe::abr {
+namespace mvqoe::video {
 
 namespace {
 
@@ -122,4 +122,4 @@ Rung MemoryAwareAbr::choose(const AbrContext& context) {
   return capped.value_or(network_choice);
 }
 
-}  // namespace mvqoe::abr
+}  // namespace mvqoe::video

@@ -1,12 +1,21 @@
-// ABR policy interface. The session consults the policy before every
-// segment download; the context deliberately includes *both* the
-// network-side signals classic ABR uses (buffer, throughput) and the
-// device-side signals the paper argues for (§6/§7): the current
-// onTrimMemory pressure level and the recently observed frame-drop rate.
-// Concrete policies live in src/abr; the video module ships only the
-// fixed-rung policy the controlled experiments (§4) use.
+// ABR policy interface and concrete policies. The session consults the
+// policy before every segment download; the context deliberately
+// includes *both* the network-side signals classic ABR uses (buffer,
+// throughput) and the device-side signals the paper argues for (§6/§7):
+// the current onTrimMemory pressure level and the recently observed
+// frame-drop rate.
+//
+// The network-driven baselines (rate-based, buffer-based/BBA, BOLA) are
+// the algorithms the paper cites as the state of practice that is blind
+// to device bottlenecks (§1, §7: adaptation "traditionally focused on
+// network bottlenecks"). MemoryAwareAbr is the paper's proposal made
+// concrete (§6/§7): it wraps any network policy and additionally adapts
+// the *frame rate* and resolution from onTrimMemory pressure signals and
+// the observed frame-drop rate — reproducing the Fig 16/17 result that
+// dropping 60 -> 24 FPS restores smooth playback under pressure.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "mem/types.hpp"
@@ -70,5 +79,82 @@ class ScheduledAbr final : public AbrPolicy {
  private:
   std::vector<Step> schedule_;
 };
+
+/// Pick the highest rung whose bitrate fits a safety fraction of the
+/// throughput estimate. Frame rate fixed at construction.
+class RateBasedAbr final : public AbrPolicy {
+ public:
+  RateBasedAbr(int fps, double safety = 0.8) : fps_(fps), safety_(safety) {}
+  Rung choose(const AbrContext& context) override;
+  std::string name() const override { return "rate-based"; }
+
+ private:
+  int fps_;
+  double safety_;
+};
+
+/// BBA-style buffer-based policy: map buffer occupancy linearly between a
+/// reservoir and a cushion onto the rung ladder (Huang et al., SIGCOMM'14).
+class BufferBasedAbr final : public AbrPolicy {
+ public:
+  BufferBasedAbr(int fps, double reservoir_s = 10.0, double cushion_s = 40.0)
+      : fps_(fps), reservoir_s_(reservoir_s), cushion_s_(cushion_s) {}
+  Rung choose(const AbrContext& context) override;
+  std::string name() const override { return "buffer-based"; }
+
+ private:
+  int fps_;
+  double reservoir_s_;
+  double cushion_s_;
+};
+
+/// BOLA-BASIC (Spiteri et al., INFOCOM'16): maximize per-segment
+/// (V * (utility + gamma_p) - buffer_level) / segment_size over rungs,
+/// with ln-bitrate utilities.
+class BolaAbr final : public AbrPolicy {
+ public:
+  BolaAbr(int fps, double buffer_target_s = 40.0);
+  Rung choose(const AbrContext& context) override;
+  std::string name() const override { return "bola"; }
+
+ private:
+  int fps_;
+  double buffer_target_s_;
+};
+
+/// Memory-aware wrapper (the paper's §6/§7 proposal): delegate the
+/// network decision to an inner policy, then clamp the result according
+/// to the device's memory-pressure level with hysteresis, preferring
+/// frame-rate reduction over resolution reduction (§6: "a video can
+/// continue to be rendered at high resolution by decreasing the encoded
+/// frame rate").
+struct MemoryAwareConfig {
+  /// Per-level caps (indexed by mem::PressureLevel): max fps and height.
+  int max_fps[4] = {60, 48, 24, 24};
+  int max_height[4] = {1440, 1080, 720, 480};
+  /// If the recent drop rate exceeds this while any pressure is present,
+  /// step the frame rate down one notch further.
+  double drop_rate_trigger = 0.10;
+  /// Segments to hold a cap after pressure clears (hysteresis).
+  int hold_segments = 3;
+};
+
+class MemoryAwareAbr final : public AbrPolicy {
+ public:
+  /// `inner` may be null: then the policy holds the session's current
+  /// rung as its network choice.
+  MemoryAwareAbr(std::unique_ptr<AbrPolicy> inner, MemoryAwareConfig config = {});
+  Rung choose(const AbrContext& context) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<AbrPolicy> inner_;
+  MemoryAwareConfig config_;
+  int worst_recent_level_ = 0;
+  int segments_since_pressure_ = 1 << 20;
+};
+
+/// Frame rates the ladder offers, descending, for stepping down.
+int next_fps_down(const BitrateLadder& ladder, int fps);
 
 }  // namespace mvqoe::video

@@ -1,8 +1,8 @@
 #include <gtest/gtest.h>
 
-#include "abr/policies.hpp"
+#include "video/abr_policy.hpp"
 
-namespace mvqoe::abr {
+namespace mvqoe::video {
 namespace {
 
 using mem::PressureLevel;
@@ -206,4 +206,4 @@ TEST(MemoryAware, NameReflectsInnerPolicy) {
 }
 
 }  // namespace
-}  // namespace mvqoe::abr
+}  // namespace mvqoe::video

@@ -7,6 +7,7 @@
 #include "core/testbed.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
+#include "scenario/spec.hpp"
 #include "snapshot/replay/driver.hpp"
 
 namespace mvqoe::fault {
@@ -251,22 +252,18 @@ TEST(FaultInjector, GilbertElliottBadPeriodsMixOutagesAndRateCollapses) {
 // same offset must carry an identical injector schedule and digest.
 TEST(FaultInjector, CheckpointMidOutageRestoresRemainingSchedule) {
   using snapshot::replay::ReplayDriver;
-  using snapshot::replay::ScenarioSpec;
 
-  ScenarioSpec scen;
-  scen.family = "fig16";
-  scen.height = 480;
-  scen.fps = 30;
-  scen.duration_s = 16;
-  scen.seed = 11;
-  scen.fault_plan.link_outages.push_back({sec(4), sec(4)});           // open [4, 8]
-  scen.fault_plan.link_outages.push_back({sec(10), sec(2)});          // entirely ahead
-  scen.fault_plan.storage_degradations.push_back({sec(5), sec(6), 4.0, 0.0});  // open [5, 11]
+  FaultPlan plan;
+  plan.link_outages.push_back({sec(4), sec(4)});           // open [4, 8]
+  plan.link_outages.push_back({sec(10), sec(2)});          // entirely ahead
+  plan.storage_degradations.push_back({sec(5), sec(6), 4.0, 0.0});  // open [5, 11]
+  const scenario::ScenarioSpec scen =
+      scenario::single_video("fig16", 480, 30, 16, mem::PressureLevel::Normal, 11, plan);
 
   ReplayDriver a(scen);
   a.start();
   ASSERT_TRUE(a.advance_to_offset(sec(6)));  // inside both open windows
-  fault::FaultInjector* inj_a = a.experiment().injector();
+  fault::FaultInjector* inj_a = a.driver().injector();
   ASSERT_NE(inj_a, nullptr);
   EXPECT_EQ(inj_a->open_outages(), 1);
   EXPECT_EQ(inj_a->open_storage_windows(), 1);
@@ -281,7 +278,7 @@ TEST(FaultInjector, CheckpointMidOutageRestoresRemainingSchedule) {
   ReplayDriver b(scen);
   b.start();
   ASSERT_TRUE(b.advance_to_offset(sec(6)));
-  fault::FaultInjector* inj_b = b.experiment().injector();
+  fault::FaultInjector* inj_b = b.driver().injector();
   ASSERT_NE(inj_b, nullptr);
   const auto sched_b = inj_b->pending_schedule();
   ASSERT_EQ(sched_b.size(), sched_a.size());

@@ -3,7 +3,7 @@
 // than any single module's behaviour.
 #include <gtest/gtest.h>
 
-#include "abr/policies.hpp"
+#include "video/abr_policy.hpp"
 #include "core/experiment.hpp"
 #include "trace/analysis.hpp"
 
@@ -143,7 +143,7 @@ TEST(Integration, MemoryAccountingInvariantHoldsAfterRun) {
 }
 
 TEST(Integration, MemoryAwareAbrOutperformsFixedUnderPressure) {
-  abr::MemoryAwareAbr aware(std::make_unique<abr::RateBasedAbr>(60));
+  video::MemoryAwareAbr aware(std::make_unique<video::RateBasedAbr>(60));
   auto spec = quick_spec(core::nokia1(), 720, 60, PressureLevel::Moderate, 32);
   const auto fixed = core::run_video(spec);
   spec.abr = &aware;

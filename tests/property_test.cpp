@@ -5,7 +5,7 @@
 
 #include <tuple>
 
-#include "abr/policies.hpp"
+#include "video/abr_policy.hpp"
 #include "mem/memory_manager.hpp"
 #include "qoe/mos.hpp"
 #include "sched/scheduler.hpp"
@@ -211,8 +211,8 @@ class AbrSafety : public ::testing::TestWithParam<std::tuple<int, double, int>> 
 TEST_P(AbrSafety, MemoryAwareNeverExceedsLevelCaps) {
   const auto [level, drops, fps] = GetParam();
   const auto ladder = video::BitrateLadder::youtube();
-  abr::MemoryAwareConfig config;
-  abr::MemoryAwareAbr policy(std::make_unique<abr::RateBasedAbr>(fps), config);
+  video::MemoryAwareConfig config;
+  video::MemoryAwareAbr policy(std::make_unique<video::RateBasedAbr>(fps), config);
 
   video::AbrContext context;
   context.ladder = &ladder;

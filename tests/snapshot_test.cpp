@@ -8,6 +8,7 @@
 #include <string>
 
 #include "runner/warm_sweep.hpp"
+#include "scenario/spec.hpp"
 #include "snapshot/blob.hpp"
 #include "snapshot/digest.hpp"
 #include "snapshot/replay/record.hpp"
@@ -16,7 +17,8 @@ namespace mvqoe::snapshot {
 namespace {
 
 using replay::ReplayDriver;
-using replay::ScenarioSpec;
+using scenario::ScenarioSpec;
+using scenario::single_video;
 using sim::sec;
 
 TEST(Blob, RoundTripPreservesSectionsBytesAndDigest) {
@@ -73,14 +75,9 @@ TEST(Blob, FileRoundTrip) {
 // (replay to T, digest-verified) that then runs to completion produce
 // identical digests — for several T per scenario, across every family.
 TEST(Replay, RoundTripInvariantAcrossAllFamilies) {
-  for (const std::string& family : replay::scenario_families()) {
-    ScenarioSpec scen;
-    scen.family = family;
-    scen.height = 480;
-    scen.fps = 30;
-    scen.duration_s = 12;
-    scen.state = mem::PressureLevel::Moderate;
-    scen.seed = 21;
+  for (const std::string& family : scenario::scenario_families()) {
+    const ScenarioSpec scen =
+        single_video(family, 480, 30, 12, mem::PressureLevel::Moderate, 21);
 
     const Snapshot blob = replay::record_run(scen, {sec(4), std::nullopt});
     const auto trail = replay::load_trail(blob);
@@ -111,12 +108,8 @@ TEST(Replay, RoundTripInvariantAcrossAllFamilies) {
 }
 
 TEST(Replay, VerifyPassesCleanAndCatchesPerturbation) {
-  ScenarioSpec scen;
-  scen.family = "fig16";
-  scen.height = 720;
-  scen.fps = 48;
-  scen.duration_s = 12;
-  scen.seed = 7;
+  const ScenarioSpec scen =
+      single_video("fig16", 720, 48, 12, mem::PressureLevel::Normal, 7);
   const Snapshot blob = replay::record_run(scen, {sec(4), std::nullopt});
 
   const auto clean = replay::verify_replay(blob);
@@ -131,12 +124,8 @@ TEST(Replay, VerifyPassesCleanAndCatchesPerturbation) {
 }
 
 TEST(Replay, BisectPinpointsInjectedPerturbation) {
-  ScenarioSpec scen;
-  scen.family = "fig16";
-  scen.height = 720;
-  scen.fps = 48;
-  scen.duration_s = 12;
-  scen.seed = 7;
+  const ScenarioSpec scen =
+      single_video("fig16", 720, 48, 12, mem::PressureLevel::Normal, 7);
   const Snapshot blob = replay::record_run(scen, {sec(4), std::nullopt});
 
   const auto report = replay::bisect_divergence(blob, sec(6));
@@ -153,23 +142,21 @@ TEST(Replay, BisectPinpointsInjectedPerturbation) {
 }
 
 TEST(Replay, RecordedBlobSurvivesSerializeParse) {
-  ScenarioSpec scen;
-  scen.family = "fig11";
-  scen.height = 360;
-  scen.fps = 30;
-  scen.duration_s = 8;
-  scen.seed = 3;
-  scen.fault_plan.link_outages.push_back({sec(2), sec(1)});
+  fault::FaultPlan plan;
+  plan.link_outages.push_back({sec(2), sec(1)});
+  const ScenarioSpec scen =
+      single_video("fig11", 360, 30, 8, mem::PressureLevel::Normal, 3, plan);
   const Snapshot blob = replay::record_run(scen, {sec(4), std::nullopt});
 
   const Snapshot reparsed = Snapshot::parse(blob.serialize());
   ByteReader r(reparsed.require(replay::kScenTag));
-  const ScenarioSpec loaded = replay::load_scenario(r);
+  const ScenarioSpec loaded = scenario::load_scenario(r);
   EXPECT_EQ(loaded.family, scen.family);
-  EXPECT_EQ(loaded.height, scen.height);
+  EXPECT_EQ(scenario::video_spec(loaded).height, scenario::video_spec(scen).height);
   EXPECT_EQ(loaded.seed, scen.seed);
-  ASSERT_EQ(loaded.fault_plan.link_outages.size(), 1u);
-  EXPECT_EQ(loaded.fault_plan.link_outages[0].at, sec(2));
+  const auto& loaded_plan = scenario::video_spec(loaded).fault_plan;
+  ASSERT_EQ(loaded_plan.link_outages.size(), 1u);
+  EXPECT_EQ(loaded_plan.link_outages[0].at, sec(2));
 
   const auto verified = replay::verify_replay(reparsed);
   EXPECT_TRUE(verified.ok) << replay::format_report(verified);
@@ -196,9 +183,12 @@ TEST(Replay, GoldenBlobReplaysDigestIdentical) {
 
 TEST(WarmSweep, ForkedWarmMatchesColdByteForByte) {
   if (!runner::warm_fork_supported()) GTEST_SKIP() << "no fork on this platform";
-  core::VideoRunSpec proto;
-  proto.device = core::nokia1();
-  proto.asset = video::dubai_flow_motion(8);
+  scenario::ScenarioSpec proto;
+  proto.family.clear();
+  proto.device_override = core::nokia1();
+  scenario::VideoWorkloadSpec video;
+  video.duration_s = 8;
+  proto.workloads.emplace_back(std::move(video));
   const std::vector<mem::PressureLevel> states = {mem::PressureLevel::Moderate};
   const std::vector<int> fps = {30};
   const std::vector<int> heights = {360, 480};

@@ -2,10 +2,12 @@
 //
 //   mvqoe_replay record <blob> [--family=F] [--height=H] [--fps=N]
 //                              [--duration=S] [--state=L] [--seed=N]
-//                              [--interval=S]
+//                              [--interval=S] [--videos=N]
 //       Run the scenario, sampling the full-state digest every
 //       --interval seconds, and write the blob (scenario + digest trail
-//       + final per-subsystem state).
+//       + final per-subsystem state). --videos > 1 records a contention
+//       scenario: N concurrent sessions on the same device, each with a
+//       derived per-session seed.
 //
 //   mvqoe_replay info <blob>
 //       Print the scenario, checkpoint trail and subsystem digests.
@@ -30,6 +32,7 @@
 #include <optional>
 #include <string>
 
+#include "runner/scenario_batch.hpp"
 #include "snapshot/replay/record.hpp"
 
 namespace {
@@ -42,7 +45,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: mvqoe_replay record <blob> [--family=F] [--height=H] [--fps=N]\n"
                "                                  [--duration=S] [--state=L] [--seed=N]\n"
-               "                                  [--interval=S]\n"
+               "                                  [--interval=S] [--videos=N]\n"
                "       mvqoe_replay info   <blob>\n"
                "       mvqoe_replay verify <blob> [--perturb-at=S]\n"
                "       mvqoe_replay bisect <blob> --perturb-at=S\n"
@@ -73,25 +76,41 @@ std::optional<mem::PressureLevel> parse_state(const std::string& s) {
 }
 
 int cmd_record(const std::string& path, int argc, char** argv) {
-  ScenarioSpec scen;
+  std::string family = "fig16";
+  int height = 1080;
+  int fps = 30;
+  int duration_s = 60;
+  mem::PressureLevel state = mem::PressureLevel::Normal;
+  std::uint64_t seed = 1;
+  int videos = 1;
   RecordOptions options;
-  if (const auto v = flag_value(argc, argv, "--family")) scen.family = *v;
-  if (const auto v = flag_value(argc, argv, "--height")) scen.height = std::atoi(v->c_str());
-  if (const auto v = flag_value(argc, argv, "--fps")) scen.fps = std::atoi(v->c_str());
-  if (const auto v = flag_value(argc, argv, "--duration")) scen.duration_s = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--family")) family = *v;
+  if (const auto v = flag_value(argc, argv, "--height")) height = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--fps")) fps = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--duration")) duration_s = std::atoi(v->c_str());
   if (const auto v = flag_value(argc, argv, "--seed")) {
-    scen.seed = std::strtoull(v->c_str(), nullptr, 0);
+    seed = std::strtoull(v->c_str(), nullptr, 0);
   }
   if (const auto v = flag_value(argc, argv, "--state")) {
-    const auto state = parse_state(*v);
-    if (!state.has_value()) return usage();
-    scen.state = *state;
+    const auto parsed = parse_state(*v);
+    if (!parsed.has_value()) return usage();
+    state = *parsed;
   }
+  if (const auto v = flag_value(argc, argv, "--videos")) videos = std::atoi(v->c_str());
   if (const auto v = flag_value(argc, argv, "--interval")) {
     options.interval = sim::sec(std::atoi(v->c_str()));
   }
   if (const auto v = flag_value(argc, argv, "--perturb-at")) {
     options.perturb_at = sim::sec(std::atoi(v->c_str()));
+  }
+  if (videos < 1) return usage();
+  mvqoe::scenario::ScenarioSpec scen =
+      mvqoe::scenario::single_video(family, height, fps, duration_s, state, seed);
+  for (int k = 1; k < videos; ++k) {
+    auto video = mvqoe::scenario::video_spec(scen, 0);  // copy of session 0
+    video.label = "video" + std::to_string(k);
+    video.seed = runner::contention_session_seed(seed, static_cast<std::size_t>(k));
+    scen.workloads.emplace_back(std::move(video));
   }
   const Snapshot snap = record_run(scen, options);
   if (!Snapshot::write_file(path, snap)) {
@@ -107,11 +126,16 @@ int cmd_record(const std::string& path, int argc, char** argv) {
 
 int cmd_info(const Snapshot& snap) {
   ByteReader r(snap.require(kScenTag));
-  const ScenarioSpec scen = load_scenario(r);
+  const mvqoe::scenario::ScenarioSpec scen = mvqoe::scenario::load_scenario(r);
   const ReplayMeta meta = load_meta(snap);
-  std::printf("scenario: family=%s %dp@%dfps duration=%ds state=%s seed=%llu\n",
-              scen.family.c_str(), scen.height, scen.fps, scen.duration_s,
-              mem::to_string(scen.state), static_cast<unsigned long long>(scen.seed));
+  std::printf("scenario: family=%s state=%s seed=%llu workloads=%zu\n", scen.family.c_str(),
+              mem::to_string(scen.state), static_cast<unsigned long long>(scen.seed),
+              scen.workloads.size());
+  for (std::size_t i = 0; i < mvqoe::scenario::video_count(scen); ++i) {
+    const auto& video = mvqoe::scenario::video_spec(scen, i);
+    std::printf("  %-8s %dp@%dfps duration=%ds seed=%llu\n", video.label.c_str(), video.height,
+                video.fps, video.duration_s, static_cast<unsigned long long>(video.seed));
+  }
   std::printf("recorded: interval=%lds video_start=%.3fs end=+%lds status=%s\n",
               static_cast<long>(sim::to_seconds(meta.interval)),
               sim::to_seconds(meta.video_start),
