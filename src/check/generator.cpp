@@ -1,0 +1,113 @@
+#include "check/generator.hpp"
+
+#include "stats/rng.hpp"
+#include "video/ladder.hpp"
+
+namespace mvqoe::check {
+namespace {
+
+fault::FaultPlan random_fault_plan(stats::Rng& rng, int duration_s) {
+  fault::FaultPlan plan;
+  plan.seed = rng.next();
+  const auto offset = [&]() { return sim::msec(rng.uniform_int(0, duration_s * 1000)); };
+
+  const int outages = static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < outages; ++i) {
+    fault::LinkOutage outage;
+    outage.at = offset();
+    outage.duration = sim::msec(rng.uniform_int(100, 2500));
+    plan.link_outages.push_back(outage);
+  }
+  const int steps = static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < steps; ++i) {
+    fault::LinkRateStep step;
+    step.at = offset();
+    step.rate_mbps = rng.uniform(0.8, 80.0);
+    plan.link_rate_steps.push_back(step);
+  }
+  if (rng.bernoulli(0.35)) {
+    fault::StorageDegradation window;
+    window.at = offset();
+    window.duration = sim::msec(rng.uniform_int(200, 3000));
+    window.latency_multiplier = rng.uniform(2.0, 10.0);
+    window.error_rate = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.3) : 0.0;
+    plan.storage_degradations.push_back(window);
+  }
+  if (rng.bernoulli(0.35)) {
+    fault::ThermalWindow window;
+    window.at = offset();
+    window.duration = sim::msec(rng.uniform_int(500, 4000));
+    window.speed_scale = rng.uniform(0.3, 0.9);
+    plan.thermal_windows.push_back(window);
+  }
+  if (rng.bernoulli(0.3)) {
+    // pid 0 = the owning session's client, resolved at fire time — the
+    // targeted lmkd-style kill.
+    fault::TargetedKill kill;
+    kill.at = offset();
+    kill.pid = 0;
+    plan.kills.push_back(kill);
+  }
+  if (rng.bernoulli(0.15)) {
+    plan.gilbert_elliott.enabled = true;
+    plan.gilbert_elliott.mean_good = sim::msec(rng.uniform_int(2000, 20000));
+    plan.gilbert_elliott.mean_bad = sim::msec(rng.uniform_int(300, 3000));
+    plan.gilbert_elliott.good_rate_mbps = rng.uniform(20.0, 80.0);
+    plan.gilbert_elliott.bad_rate_mbps = rng.uniform(0.5, 4.0);
+    plan.gilbert_elliott.bad_outage_probability = rng.uniform(0.0, 0.5);
+  }
+  return plan;
+}
+
+}  // namespace
+
+scenario::ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorConfig& config) {
+  stats::Rng rng(seed);
+  scenario::ScenarioSpec scen;
+  scen.seed = seed;
+
+  const auto& families = scenario::scenario_families();
+  scen.family = families[rng.uniform_int(0, static_cast<std::int64_t>(families.size()) - 1)];
+
+  // Pressure states weighted toward the interesting (pressured) regimes.
+  scen.state = static_cast<mem::PressureLevel>(
+      rng.weighted_index({0.35, 0.3, 0.2, 0.15}));
+  if (rng.bernoulli(config.organic_probability)) {
+    scen.organic_background_apps = static_cast<int>(rng.uniform_int(2, 8));
+  }
+
+  const video::BitrateLadder ladder = video::BitrateLadder::youtube();
+  const auto& rungs = ladder.rungs();
+  const int videos = static_cast<int>(rng.uniform_int(1, config.max_videos));
+  for (int i = 0; i < videos; ++i) {
+    scenario::VideoWorkloadSpec video;
+    video.label = "video" + std::to_string(i);
+    const video::Rung& rung = rungs[rng.uniform_int(0, static_cast<std::int64_t>(rungs.size()) - 1)];
+    video.height = rung.resolution.height;
+    video.fps = rung.fps;
+    video.duration_s =
+        static_cast<int>(rng.uniform_int(config.min_duration_s, config.max_duration_s));
+    video.seed = rng.next();
+    if (rng.bernoulli(config.fault_probability)) {
+      video.fault_plan = random_fault_plan(rng, video.duration_s);
+    }
+    scen.workloads.emplace_back(std::move(video));
+  }
+
+  if (rng.bernoulli(config.background_probability)) {
+    scenario::BackgroundAppsWorkloadSpec bg;
+    bg.label = "bg";
+    bg.count = static_cast<int>(rng.uniform_int(2, 8));
+    scen.workloads.emplace_back(bg);
+  }
+  if (rng.bernoulli(config.pressure_workload_probability)) {
+    scenario::PressureWorkloadSpec hog;
+    hog.label = "hog";
+    hog.target = static_cast<mem::PressureLevel>(rng.uniform_int(1, 3));
+    scen.workloads.emplace_back(hog);
+  }
+
+  return scen;
+}
+
+}  // namespace mvqoe::check

@@ -1,0 +1,35 @@
+// Seeded random scenario generation (DESIGN.md §12).
+//
+// generate_scenario(seed) samples the full serializable ScenarioSpec
+// space: every paper family, every pressure state, 1..max_videos
+// concurrent sessions plus background/pressure workloads, and per-video
+// fault scripts (outages, rate steps, storage windows, thermal windows,
+// targeted lmkd-style kills, occasional Gilbert-Elliott links). One seed
+// fully determines one spec — the fuzzer's run i uses
+// derive_seed(campaign_seed, i), so any failing run is reproducible from
+// (seed, i) alone.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/spec.hpp"
+
+namespace mvqoe::check {
+
+struct GeneratorConfig {
+  int max_videos = 3;
+  /// Video durations in [min, max] seconds — short by default so a fuzz
+  /// run is a few wall-milliseconds per world.
+  int min_duration_s = 3;
+  int max_duration_s = 8;
+  double fault_probability = 0.6;
+  double background_probability = 0.35;
+  double pressure_workload_probability = 0.25;
+  double organic_probability = 0.2;
+};
+
+/// Deterministic: same (seed, config) -> identical spec, always
+/// serializable (save_scenario never throws on it).
+scenario::ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorConfig& config = {});
+
+}  // namespace mvqoe::check

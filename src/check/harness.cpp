@@ -1,0 +1,275 @@
+#include "check/harness.hpp"
+
+#include <sstream>
+
+#include "runner/batch.hpp"
+#include "snapshot/digest.hpp"
+#include "stats/rng.hpp"
+
+namespace mvqoe::check {
+namespace {
+
+Violation meta_violation(const std::string& oracle, std::string detail, sim::Time offset) {
+  Violation v;
+  v.oracle = oracle;
+  v.detail = std::move(detail);
+  v.offset = offset;
+  v.at = offset;
+  return v;
+}
+
+}  // namespace
+
+RunReport check_scenario(const scenario::ScenarioSpec& scen, const CheckOptions& opts) {
+  RunReport report;
+  snapshot::replay::ReplayDriver drv(scen);
+  if (opts.perturb_at) drv.set_perturb_at(*opts.perturb_at);
+  drv.start();
+  drv.driver().testbed().engine.set_livelock_limit(opts.livelock_limit);
+
+  WorldObserver observer;
+  OracleSuite suite;
+  const auto sample = [&](bool final_obs) {
+    const WorldObservation obs = observer.observe(drv.driver(), final_obs);
+    const auto v = final_obs ? suite.final_check(obs) : suite.check(obs);
+    if (v) {
+      report.ok = false;
+      report.violation = v;
+    }
+    return report.ok;
+  };
+
+  report.trail.push_back({drv.offset(), drv.digest()});
+  if (!sample(false)) return report;
+  while (!drv.done()) {
+    drv.advance_to_offset(drv.offset() + sim::sec(1));
+    ++report.slices;
+    report.trail.push_back({drv.offset(), drv.digest()});
+    if (!sample(false)) return report;
+  }
+  report.final_digest = report.trail.back().digest;
+  const scenario::ScenarioResult result = drv.finalize();
+  report.status = result.status;
+  if (!sample(true)) return report;
+
+  if (!opts.meta_determinism) return report;
+
+  // Run-twice identity: a clean re-execution must hit every slice
+  // digest of the primary run. A perturbed primary run fails here —
+  // that is the manufactured meta-determinism violation.
+  snapshot::replay::ReplayDriver rerun(scen);
+  rerun.start();
+  for (const snapshot::replay::TrailEntry& entry : report.trail) {
+    if (entry.offset > rerun.offset()) rerun.advance_to_offset(entry.offset);
+    if (rerun.offset() != entry.offset || rerun.digest() != entry.digest) {
+      std::ostringstream why;
+      why << "re-run digest diverged at offset " << entry.offset << "us: recorded " << std::hex
+          << entry.digest << ", re-run " << rerun.digest() << std::dec << " (re-run offset "
+          << rerun.offset() << "us)";
+      report.ok = false;
+      report.violation = meta_violation("meta-determinism", why.str(), entry.offset);
+      return report;
+    }
+  }
+
+  // Checkpoint/restore identity: replay a fresh world to one
+  // deterministically-chosen mid-run slice T and require the digest the
+  // trail recorded there (restore == replay-to-T, DESIGN.md §10).
+  if (report.trail.size() > 2) {
+    std::uint64_t pick = stats::derive_seed(scen.seed, 0x4348454Bu /* "CHEK" */);
+    const std::size_t index =
+        1 + static_cast<std::size_t>(pick % (report.trail.size() - 2));
+    const snapshot::replay::TrailEntry& entry = report.trail[index];
+    snapshot::replay::ReplayDriver restore(scen);
+    restore.start();
+    restore.advance_to_offset(entry.offset);
+    if (restore.offset() != entry.offset || restore.digest() != entry.digest) {
+      std::ostringstream why;
+      why << "checkpoint restore to offset " << entry.offset << "us digested " << std::hex
+          << restore.digest() << ", trail recorded " << entry.digest << std::dec;
+      report.ok = false;
+      report.violation = meta_violation("checkpoint-restore", why.str(), entry.offset);
+      return report;
+    }
+  }
+  return report;
+}
+
+// --- Campaign ----------------------------------------------------------------
+
+FuzzSummary run_fuzz(const FuzzOptions& opts) {
+  struct Cell {
+    std::uint64_t run_seed = 0;
+    scenario::ScenarioSpec spec;
+    RunReport report;
+  };
+
+  const auto batch = runner::run_batch(
+      static_cast<std::size_t>(opts.runs), opts.jobs, [&opts](std::size_t i) {
+        Cell cell;
+        cell.run_seed = stats::derive_seed(opts.seed, i + 1);
+        cell.spec = generate_scenario(cell.run_seed, opts.generator);
+        CheckOptions check = opts.check;
+        if (static_cast<int>(i) == opts.perturb_run) check.perturb_at = opts.perturb_offset;
+        cell.report = check_scenario(cell.spec, check);
+        return cell;
+      });
+
+  FuzzSummary summary;
+  summary.runs = opts.runs;
+  snapshot::StateHash hash;
+  for (const auto& slot : batch.runs) {
+    hash.mix(slot.index);
+    hash.mix(slot.ok ? 1 : 0);
+    if (!slot.ok) {
+      // The world threw — report it as a harness-level failure.
+      ++summary.failed;
+      hash.mix_bytes(slot.error);
+      FuzzFailure failure;
+      failure.run = static_cast<int>(slot.index);
+      failure.run_seed = stats::derive_seed(opts.seed, slot.index + 1);
+      failure.spec = generate_scenario(failure.run_seed, opts.generator);
+      failure.violation.oracle = "exception";
+      failure.violation.detail = slot.error;
+      summary.failures.push_back(std::move(failure));
+      continue;
+    }
+    const RunReport& report = slot.value.report;
+    hash.mix(report.ok ? 1 : 0);
+    hash.mix(report.final_digest);
+    hash.mix(static_cast<std::uint64_t>(report.slices));
+    if (!report.ok) {
+      ++summary.failed;
+      hash.mix_bytes(report.violation->oracle);
+      FuzzFailure failure;
+      failure.run = static_cast<int>(slot.index);
+      failure.run_seed = slot.value.run_seed;
+      failure.spec = slot.value.spec;
+      failure.violation = *report.violation;
+      summary.failures.push_back(std::move(failure));
+    }
+  }
+  summary.digest = hash.value();
+  return summary;
+}
+
+// --- Repro blobs -------------------------------------------------------------
+
+snapshot::Snapshot save_repro(const Repro& repro) {
+  snapshot::Snapshot snap;
+  {
+    snapshot::ByteWriter w;
+    scenario::save_scenario(w, repro.spec);
+    snap.put(snapshot::replay::kScenTag, std::move(w));
+  }
+  snapshot::ByteWriter w;
+  w.u32(1);  // section version
+  w.u64(repro.run_seed);
+  w.str(repro.oracle);
+  w.str(repro.detail);
+  w.i64(repro.offset);
+  w.i64(repro.perturb_at ? *repro.perturb_at : -1);
+  snap.put(kReproTag, std::move(w));
+  return snap;
+}
+
+Repro load_repro(const snapshot::Snapshot& blob) {
+  Repro repro;
+  {
+    snapshot::ByteReader r(blob.require(snapshot::replay::kScenTag));
+    repro.spec = scenario::load_scenario(r);
+  }
+  snapshot::ByteReader r(blob.require(kReproTag));
+  const std::uint32_t version = r.u32();
+  if (version != 1) throw std::runtime_error("repro: unsupported FZRP section version");
+  repro.run_seed = r.u64();
+  repro.oracle = r.str();
+  repro.detail = r.str();
+  repro.offset = r.i64();
+  const sim::Time perturb = r.i64();
+  if (perturb >= 0) repro.perturb_at = perturb;
+  return repro;
+}
+
+ReproReport replay_repro(const Repro& repro, const CheckOptions& base) {
+  CheckOptions opts = base;
+  opts.perturb_at = repro.perturb_at;
+  const RunReport report = check_scenario(repro.spec, opts);
+  ReproReport out;
+  out.violation = report.violation;
+  out.reproduced = !report.ok && report.violation && report.violation->oracle == repro.oracle;
+  return out;
+}
+
+// --- Localization ------------------------------------------------------------
+
+Localization localize_violation(const scenario::ScenarioSpec& spec, const Violation& violation,
+                                std::optional<sim::Time> perturb_at, const CheckOptions& opts) {
+  Localization loc;
+  if (perturb_at) {
+    // Determinism failures reduce to golden-trace divergence: record the
+    // clean run at 1-second granularity, then bisect the perturbed
+    // replay against it.
+    snapshot::replay::RecordOptions record;
+    record.interval = sim::sec(1);
+    const snapshot::Snapshot blob = snapshot::replay::record_run(spec, record);
+    const snapshot::replay::DivergenceReport report =
+        snapshot::replay::bisect_divergence(blob, *perturb_at);
+    loc.located = report.diverged;
+    loc.event_time = report.event_time;
+    loc.event_seq = report.event_seq;
+    loc.subsystem = report.subsystem;
+    loc.probes = report.probes;
+    loc.detail = snapshot::replay::format_report(report);
+    return loc;
+  }
+
+  // Oracle violations: re-run the world, warm the stateful oracles up to
+  // the slice before the recorded violation, then single-step engine
+  // events through the violating slice re-checking after each one.
+  snapshot::replay::ReplayDriver drv(spec);
+  drv.start();
+  drv.driver().testbed().engine.set_livelock_limit(opts.livelock_limit);
+  WorldObserver observer;
+  OracleSuite suite;
+  const auto trip = [&](bool final_obs) {
+    const WorldObservation obs = observer.observe(drv.driver(), final_obs);
+    return final_obs ? suite.final_check(obs) : suite.check(obs);
+  };
+
+  if (trip(false)) {
+    loc.detail = "violation already present at the first slice boundary (offset 0)";
+    return loc;
+  }
+  const sim::Time warm_to = violation.offset > 0 ? violation.offset - sim::sec(1) : 0;
+  while (drv.offset() < warm_to && !drv.done()) {
+    drv.advance_to_offset(drv.offset() + sim::sec(1));
+    if (auto v = trip(false)) {
+      loc.detail = "violation reproduced earlier than recorded (offset " +
+                   std::to_string(drv.offset()) + "us)";
+      return loc;
+    }
+  }
+
+  constexpr int kMaxSteps = 2'000'000;
+  const sim::Time slice_end = drv.video_start() + violation.offset;
+  for (int steps = 1; steps <= kMaxSteps; ++steps) {
+    const auto next = drv.next_event();
+    if (!next || next->first > slice_end) break;
+    if (!drv.step_event()) break;
+    if (auto v = trip(false)) {
+      loc.located = true;
+      loc.event_time = next->first;
+      loc.event_seq = next->second;
+      loc.subsystem = v->oracle;
+      loc.probes = steps;
+      loc.detail = v->detail;
+      return loc;
+    }
+  }
+  loc.detail = "no single engine event tripped the oracle inside the violating slice "
+               "(slice-level effect, e.g. a workload advance hook)";
+  return loc;
+}
+
+}  // namespace mvqoe::check

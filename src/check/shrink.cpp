@@ -1,0 +1,115 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <variant>
+
+namespace mvqoe::check {
+namespace {
+
+template <class T>
+void truncate_half(std::vector<T>& v, bool& changed) {
+  if (v.empty()) return;
+  v.resize(v.size() / 2);
+  changed = true;
+}
+
+/// All one-step reductions of `spec`, strictly smaller by construction
+/// (so greedy acceptance terminates).
+std::vector<scenario::ScenarioSpec> reductions(const scenario::ScenarioSpec& spec) {
+  std::vector<scenario::ScenarioSpec> out;
+
+  // Drop each workload (a scenario with no videos ends immediately, so
+  // such candidates just fail to reproduce and are rejected).
+  if (spec.workloads.size() > 1) {
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+      scenario::ScenarioSpec c = spec;
+      c.workloads.erase(c.workloads.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(c));
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+    if (const auto* video = std::get_if<scenario::VideoWorkloadSpec>(&spec.workloads[i])) {
+      if (!video->fault_plan.empty()) {
+        // Whole script gone.
+        scenario::ScenarioSpec cleared = spec;
+        std::get<scenario::VideoWorkloadSpec>(cleared.workloads[i]).fault_plan =
+            fault::FaultPlan{};
+        out.push_back(std::move(cleared));
+        // Script truncated: halve every action vector, drop the
+        // stochastic link model.
+        scenario::ScenarioSpec truncated = spec;
+        fault::FaultPlan& plan =
+            std::get<scenario::VideoWorkloadSpec>(truncated.workloads[i]).fault_plan;
+        bool changed = false;
+        truncate_half(plan.link_outages, changed);
+        truncate_half(plan.link_rate_steps, changed);
+        truncate_half(plan.storage_degradations, changed);
+        truncate_half(plan.thermal_windows, changed);
+        truncate_half(plan.kills, changed);
+        if (plan.gilbert_elliott.enabled) {
+          plan.gilbert_elliott.enabled = false;
+          changed = true;
+        }
+        if (changed) out.push_back(std::move(truncated));
+      }
+      if (video->duration_s > 1) {
+        scenario::ScenarioSpec shorter = spec;
+        auto& v = std::get<scenario::VideoWorkloadSpec>(shorter.workloads[i]);
+        v.duration_s = std::max(1, v.duration_s / 2);
+        out.push_back(std::move(shorter));
+      }
+    } else if (const auto* bg =
+                   std::get_if<scenario::BackgroundAppsWorkloadSpec>(&spec.workloads[i])) {
+      if (bg->count > 1) {
+        scenario::ScenarioSpec fewer = spec;
+        std::get<scenario::BackgroundAppsWorkloadSpec>(fewer.workloads[i]).count = bg->count / 2;
+        out.push_back(std::move(fewer));
+      }
+    }
+  }
+
+  if (spec.organic_background_apps > 0) {
+    scenario::ScenarioSpec c = spec;
+    c.organic_background_apps /= 2;
+    out.push_back(std::move(c));
+  }
+  if (spec.state != mem::PressureLevel::Normal) {
+    scenario::ScenarioSpec c = spec;
+    c.state = mem::PressureLevel::Normal;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const scenario::ScenarioSpec& spec, const Violation& original,
+                    const ShrinkOptions& opts) {
+  ShrinkResult result;
+  result.minimal = spec;
+  result.violation = original;
+
+  CheckOptions check = opts.check;
+  check.perturb_at = opts.perturb_at;
+
+  bool improved = true;
+  while (improved && result.attempts < opts.max_attempts) {
+    improved = false;
+    for (const scenario::ScenarioSpec& candidate : reductions(result.minimal)) {
+      if (result.attempts >= opts.max_attempts) break;
+      ++result.attempts;
+      const RunReport report = check_scenario(candidate, check);
+      if (!report.ok && report.violation && report.violation->oracle == original.oracle) {
+        result.minimal = candidate;
+        result.violation = *report.violation;
+        ++result.accepted;
+        improved = true;
+        break;  // regenerate reductions from the new, smaller spec
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mvqoe::check

@@ -1,0 +1,35 @@
+// Auto-shrinking of failing scenarios (DESIGN.md §12).
+//
+// Greedy delta-debugging to a fixpoint: drop workloads, clear or
+// truncate fault scripts, shorten durations, relax the pressure regime —
+// accepting a candidate only when it still trips the *same* oracle, so
+// the minimized spec reproduces the original failure, not a new one.
+#pragma once
+
+#include "check/harness.hpp"
+
+namespace mvqoe::check {
+
+struct ShrinkOptions {
+  /// Total candidate executions allowed (each one runs the world).
+  int max_attempts = 80;
+  CheckOptions check;
+  /// Carried into every candidate run (meta-determinism failures need
+  /// the perturbation to reproduce).
+  std::optional<sim::Time> perturb_at;
+};
+
+struct ShrinkResult {
+  scenario::ScenarioSpec minimal;
+  Violation violation;  ///< the violation the minimal spec produces
+  int attempts = 0;     ///< candidate runs spent
+  int accepted = 0;     ///< shrink steps that kept the failure
+};
+
+/// `spec` must fail with `original.oracle` under (opts.check,
+/// opts.perturb_at); the result's `minimal` is the smallest spec found
+/// that still does.
+ShrinkResult shrink(const scenario::ScenarioSpec& spec, const Violation& original,
+                    const ShrinkOptions& opts = {});
+
+}  // namespace mvqoe::check

@@ -116,9 +116,28 @@ void MemoryManager::exit_process(ProcessId pid) {
 }
 
 void MemoryManager::kill_process(ProcessId pid) {
+  kill_with_audit(pid, KillAudit::Reason::External, INT_MAX);
+}
+
+void MemoryManager::kill_with_audit(ProcessId pid, KillAudit::Reason reason, int min_adj) {
   const ProcessMem* process = registry_.find(pid);
-  if (process == nullptr) return;
+  if (process == nullptr || !process->alive) return;
   const int adj = process->oom_adj;
+  {
+    KillAudit audit;
+    audit.at = engine_.now();
+    audit.pid = pid;
+    audit.oom_adj = adj;
+    audit.reason = reason;
+    audit.min_adj = min_adj;
+    for (const ProcessMem* p : registry_.all()) {
+      if (p->alive && p->killable) audit.max_killable_adj = std::max(audit.max_killable_adj, p->oom_adj);
+    }
+    audit.pressure = pressure_P();
+    audit.available = available_pages();
+    audit.zram_stored = zram_stored_;
+    kill_audits_.push_back(audit);
+  }
   std::function<void()> on_kill = process->on_kill;
   ++vmstat_.kills_lmkd;
   if (tracer_ != nullptr) {
@@ -214,10 +233,14 @@ void MemoryManager::oom_check(std::uint64_t waiter_id) {
     if (waiter.id != waiter_id || waiter.done == nullptr) continue;
     // Prefer background victims; the foreground dies only when nothing
     // else is left (classic OOM-killer escalation).
-    std::optional<ProcessId> victim = registry_.pick_victim(config_.lmkd_background_adj_floor);
-    if (!victim.has_value()) victim = registry_.pick_victim(OomAdj::kForeground);
+    int floor_used = config_.lmkd_background_adj_floor;
+    std::optional<ProcessId> victim = registry_.pick_victim(floor_used);
+    if (!victim.has_value()) {
+      floor_used = OomAdj::kForeground;
+      victim = registry_.pick_victim(floor_used);
+    }
     if (victim.has_value()) {
-      kill_process(*victim);
+      kill_with_audit(*victim, KillAudit::Reason::Oom, floor_used);
       last_lmkd_kill_ = engine_.now();
     }
     // Re-arm in case the kill did not free enough (or no victim existed).
@@ -768,7 +791,7 @@ void MemoryManager::lmkd_do_kill() {
   const std::optional<ProcessId> victim = registry_.pick_victim(min_adj);
   if (!victim.has_value()) return;
   last_lmkd_kill_ = engine_.now();
-  kill_process(*victim);
+  kill_with_audit(*victim, KillAudit::Reason::Lmkd, min_adj);
   // A kill frees pages; give the pressure estimate credit so lmkd does
   // not machine-gun through the process list before the next scan batch
   // re-measures.

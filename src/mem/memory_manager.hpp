@@ -137,6 +137,24 @@ class MemoryManager {
   };
   ConservationReport check_conservation() const;
 
+  /// One process kill with the killer's decision inputs captured at the
+  /// moment of the decision — the observation record the lmkd-ordering
+  /// oracle (src/check) replays the band rules against. Not serialized:
+  /// audits are observations, like the tracer, not simulation state.
+  struct KillAudit {
+    enum class Reason : std::uint8_t { Lmkd, Oom, External };
+    sim::Time at = 0;
+    ProcessId pid = 0;
+    int oom_adj = 0;            ///< victim's band at kill time
+    Reason reason = Reason::External;
+    int min_adj = 0;            ///< band floor the killer used
+    int max_killable_adj = -1;  ///< highest killable adj alive at decision (-1 none)
+    double pressure = 0.0;      ///< pressure_P() at decision
+    Pages available = 0;        ///< available_pages() at decision
+    Pages zram_stored = 0;
+  };
+  const std::vector<KillAudit>& kill_audits() const noexcept { return kill_audits_; }
+
   /// Serialize pools, pressure state, vmstat, the process registry and
   /// parked allocation waiters (ids/sizes only — their completion
   /// callbacks are closures and replay-reconstructed, DESIGN.md §10).
@@ -181,6 +199,9 @@ class MemoryManager {
 
   void update_pressure_level();
   void free_process_pages(ProcessId pid);
+  /// Common kill path; records a KillAudit with the caller's decision
+  /// inputs before the victim's pages are freed.
+  void kill_with_audit(ProcessId pid, KillAudit::Reason reason, int min_adj);
 
   sim::Engine& engine_;
   MemoryConfig config_;
@@ -225,6 +246,7 @@ class MemoryManager {
   void oom_check(std::uint64_t waiter_id);
 
   std::vector<TrimListener> trim_listeners_;
+  std::vector<KillAudit> kill_audits_;
 };
 
 }  // namespace mvqoe::mem

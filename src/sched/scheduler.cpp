@@ -65,6 +65,10 @@ trace::ThreadState Scheduler::state(ThreadId tid) const { return thread(tid).sta
 
 const ThreadCounters& Scheduler::counters(ThreadId tid) const { return thread(tid).counters; }
 
+double Scheduler::vruntime(ThreadId tid) const { return thread(tid).vruntime; }
+
+SchedClass Scheduler::sched_class(ThreadId tid) const { return thread(tid).spec.sched_class; }
+
 std::optional<std::size_t> Scheduler::running_core(ThreadId tid) const {
   const int core = thread(tid).core;
   return core >= 0 ? std::optional<std::size_t>(static_cast<std::size_t>(core)) : std::nullopt;
@@ -413,7 +417,22 @@ void Scheduler::slice_expired(std::size_t core_idx) {
   // after we charge our consumption). Approximation: yield if anyone is
   // waiting — CFS would have picked them within a granule anyway.
   if (t.spec.sched_class == SchedClass::Fair && !core.fair_queue.empty()) {
-    deschedule(core_idx, trace::ThreadState::RunnablePreempted, trace::kNoThread);
+    // Attribute the preemption to the dispatch winner — queued RT
+    // first, else the min-vruntime fair waiter (dispatch()'s pick order
+    // before the victim is requeued). Leaving it unattributed would
+    // hide every timeslice rotation from the preemption-episode
+    // analysis.
+    ThreadId preemptor = trace::kNoThread;
+    if (!core.rt_queue.empty()) {
+      preemptor = core.rt_queue.front();
+    } else {
+      auto best = core.fair_queue.begin();
+      for (auto it = core.fair_queue.begin(); it != core.fair_queue.end(); ++it) {
+        if (thread(*it).vruntime < thread(*best).vruntime) best = it;
+      }
+      preemptor = *best;
+    }
+    deschedule(core_idx, trace::ThreadState::RunnablePreempted, preemptor);
     dispatch(core_idx);
   } else {
     arm_core_event(core_idx);

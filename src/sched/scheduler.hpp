@@ -120,6 +120,14 @@ class Scheduler {
   trace::ThreadState state(ThreadId tid) const;
   const ThreadCounters& counters(ThreadId tid) const;
   std::size_t core_count() const noexcept { return cores_.size(); }
+  /// Threads ever created; ids are dense starting at 1, so valid tids are
+  /// exactly [1, thread_count()] (terminated ones included — check
+  /// state()). Observation surface for the src/check scheduler oracle.
+  std::size_t thread_count() const noexcept { return threads_.size(); }
+  /// Weighted virtual runtime (reference-µs). Monotone non-decreasing for
+  /// a thread's whole lifetime — the vruntime oracle's invariant.
+  double vruntime(ThreadId tid) const;
+  SchedClass sched_class(ThreadId tid) const;
   /// Core the thread is currently running on, or nullopt.
   std::optional<std::size_t> running_core(ThreadId tid) const;
 

@@ -345,7 +345,7 @@ void VideoSession::decode_next() {
   if (!alive() || finished_) return;
   if (buffer_.empty()) {
     if (downloads_done_) {
-      finish();
+      maybe_finish_playout();
       return;
     }
     ++metrics_.rebuffer_events;
@@ -476,6 +476,7 @@ void VideoSession::comp_pump() {
     }
     comp_busy_ = false;
     comp_pump();
+    maybe_finish_playout();
   });
 }
 
@@ -507,6 +508,7 @@ void VideoSession::sf_pump() {
     }
     sf_busy_ = false;
     sf_pump();
+    if (epoch_ok(epoch)) maybe_finish_playout();
   });
 }
 
@@ -610,10 +612,19 @@ void VideoSession::handle_crash() {
                                 metrics_.relaunches < config_.recovery.max_relaunches &&
                                 resume_segment_ < total_segments_;
   if (!relaunch_allowed) {
-    // Terminal crash: drop statistics cover the *played* portion only;
-    // the crash itself is reported separately (the paper's Fig 9 drop
-    // bars and Table 2 crash rates are separate panels over the same
-    // runs).
+    // Terminal crash: no relaunch will ever re-download the remainder,
+    // so every segment at or past the resume point is forfeited with
+    // the process. Charging it here keeps the frame identity
+    // (presented + dropped + lost == asset frames) exact for
+    // kill-terminated fixed-ladder runs, not just recovered ones.
+    // Drop statistics still cover the *played* portion only; the crash
+    // itself is reported separately (the paper's Fig 9 drop bars and
+    // Table 2 crash rates are separate panels over the same runs).
+    if (resume_segment_ < total_segments_) {
+      metrics_.frames_lost_to_kill +=
+          static_cast<std::int64_t>(total_segments_ - resume_segment_) *
+          config_.initial_rung.fps * config_.asset.segment_s;
+    }
     metrics_.crashed = true;
     metrics_.crash_time = now;
     finished_ = true;
@@ -656,6 +667,15 @@ void VideoSession::relaunch() {
   tracer_.instant(trace::InstantKind::SessionRelaunch, engine_.now(), pl_tid_,
                   metrics_.relaunches);
   launch_stage(0);
+}
+
+bool VideoSession::pipeline_idle() const noexcept {
+  return compose_queue_.empty() && present_queue_.empty() && !comp_busy_ && !sf_busy_;
+}
+
+void VideoSession::maybe_finish_playout() {
+  if (finished_ || !downloads_done_ || !buffer_.empty() || !pipeline_idle()) return;
+  finish();
 }
 
 void VideoSession::finish() {

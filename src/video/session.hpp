@@ -162,6 +162,15 @@ class VideoSession {
   const SessionMetrics& metrics() const noexcept { return metrics_; }
   Rung current_rung() const noexcept { return current_rung_; }
   mem::ProcessId pid() const noexcept { return pid_; }
+  int total_segments() const noexcept { return total_segments_; }
+  /// Asset frame count under a fixed-fps ladder (no ABR): every segment
+  /// carries initial_rung.fps * segment_s frames, the padded tail
+  /// included. This is the right-hand side of the frame-conservation
+  /// invariant documented on SessionMetrics::frames_lost_to_kill.
+  std::int64_t fixed_ladder_frame_total() const noexcept {
+    return static_cast<std::int64_t>(total_segments_) * config_.initial_rung.fps *
+           config_.asset.segment_s;
+  }
 
   /// App-process threads (player main + MediaCodec) — the paper's "video
   /// client process threads" of Table 4 include these plus SurfaceFlinger.
@@ -221,6 +230,14 @@ class VideoSession {
   void handle_crash();
   void account_kill_losses();
   void relaunch();
+  /// True when no decoded frame is waiting in or occupying the
+  /// compositor / SurfaceFlinger stages.
+  bool pipeline_idle() const noexcept;
+  /// Finish playout once downloads are done, the buffer is drained AND
+  /// the present pipeline is idle — finishing with a frame still in
+  /// flight would forfeit it when the driver tears the client down,
+  /// breaking frame conservation by one.
+  void maybe_finish_playout();
   void finish();
   void sample_pss();
   void ui_tick();

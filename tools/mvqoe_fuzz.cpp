@@ -1,0 +1,236 @@
+// mvqoe_fuzz — deterministic scenario fuzzer with invariant oracles.
+//
+//   mvqoe_fuzz [--seed N] [--runs N] [--jobs N] [--out DIR]
+//              [--max-videos N] [--max-duration S] [--no-meta]
+//              [--perturb-run K] [--perturb-at S]
+//       Sample `runs` random scenarios from seed N (run i's world is
+//       derive_seed(seed, i+1)) and execute each under the full oracle
+//       suite at every 1-second slice boundary, plus run-twice and
+//       checkpoint/restore digest-identity checks. Failures are
+//       auto-shrunk to a minimal spec, localized to the first
+//       diverging/violating event, and written to DIR as self-contained
+//       repro blobs. The summary digest is invariant to --jobs.
+//       --perturb-run K flips one RNG bit in run K at --perturb-at
+//       seconds (default 2) — a manufactured determinism failure for
+//       demos and tests.
+//
+//   mvqoe_fuzz --minutes N [same flags]
+//       Budgeted campaign: keep running batches (each `--runs` worlds,
+//       batch b reseeded with derive_seed(seed, 1000000 + b)) until N
+//       wall-clock minutes elapse.
+//
+//   mvqoe_fuzz --repro FILE
+//       Load a repro blob and re-run its (shrunk) scenario under the
+//       same options; exit 0 iff the recorded oracle trips again.
+//
+// Exit status: 0 all runs clean / repro reproduced, 1 failures found or
+// repro did not reproduce, 2 usage or I/O errors.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "check/harness.hpp"
+#include "check/shrink.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace mvqoe;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mvqoe_fuzz [--seed N] [--runs N] [--jobs N] [--out DIR]\n"
+               "                  [--max-videos N] [--max-duration S] [--no-meta]\n"
+               "                  [--perturb-run K] [--perturb-at S] [--minutes N]\n"
+               "       mvqoe_fuzz --repro FILE\n");
+  return 2;
+}
+
+struct Args {
+  std::uint64_t seed = 1;
+  int runs = 100;
+  int jobs = 1;
+  int minutes = 0;
+  std::string out_dir = ".";
+  std::string repro_path;
+  int max_videos = 3;
+  int max_duration = 8;
+  bool meta = true;
+  int perturb_run = -1;
+  int perturb_at_s = 2;
+  bool ok = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  const auto value = [&](int& i) -> const char* {
+    const char* eq = std::strchr(argv[i], '=');
+    if (eq != nullptr) return eq + 1;
+    if (i + 1 >= argc) {
+      args.ok = false;
+      return "";
+    }
+    return argv[++i];
+  };
+  const auto is_flag = [&](int i, const char* name) {
+    const std::size_t len = std::strlen(name);
+    return std::strncmp(argv[i], name, len) == 0 && (argv[i][len] == '\0' || argv[i][len] == '=');
+  };
+  for (int i = 1; i < argc && args.ok; ++i) {
+    if (is_flag(i, "--seed")) {
+      args.seed = std::strtoull(value(i), nullptr, 0);
+    } else if (is_flag(i, "--runs")) {
+      args.runs = std::atoi(value(i));
+    } else if (is_flag(i, "--jobs")) {
+      args.jobs = std::atoi(value(i));
+    } else if (is_flag(i, "--minutes")) {
+      args.minutes = std::atoi(value(i));
+    } else if (is_flag(i, "--out")) {
+      args.out_dir = value(i);
+    } else if (is_flag(i, "--repro")) {
+      args.repro_path = value(i);
+    } else if (is_flag(i, "--max-videos")) {
+      args.max_videos = std::atoi(value(i));
+    } else if (is_flag(i, "--max-duration")) {
+      args.max_duration = std::atoi(value(i));
+    } else if (is_flag(i, "--no-meta")) {
+      args.meta = false;
+    } else if (is_flag(i, "--perturb-run")) {
+      args.perturb_run = std::atoi(value(i));
+    } else if (is_flag(i, "--perturb-at")) {
+      args.perturb_at_s = std::atoi(value(i));
+    } else {
+      args.ok = false;
+    }
+  }
+  if (args.runs < 1 || args.max_videos < 1 || args.max_duration < 1) args.ok = false;
+  return args;
+}
+
+check::FuzzOptions fuzz_options(const Args& args, std::uint64_t seed) {
+  check::FuzzOptions opts;
+  opts.seed = seed;
+  opts.runs = args.runs;
+  opts.jobs = args.jobs;
+  opts.generator.max_videos = args.max_videos;
+  opts.generator.max_duration_s = args.max_duration;
+  opts.check.meta_determinism = args.meta;
+  opts.perturb_run = args.perturb_run;
+  opts.perturb_offset = sim::sec(args.perturb_at_s);
+  return opts;
+}
+
+/// Shrink + localize + write the repro blob for one failure.
+void handle_failure(const Args& args, const check::FuzzOptions& opts,
+                    const check::FuzzFailure& failure) {
+  std::printf("FAIL run=%d seed=%llu oracle=%s\n  %s\n", failure.run,
+              static_cast<unsigned long long>(failure.run_seed), failure.violation.oracle.c_str(),
+              failure.violation.detail.c_str());
+  if (failure.violation.oracle == "exception") return;
+
+  const std::optional<sim::Time> perturb_at =
+      failure.run == opts.perturb_run ? std::optional<sim::Time>(opts.perturb_offset)
+                                      : std::nullopt;
+  check::ShrinkOptions shrink_opts;
+  shrink_opts.check = opts.check;
+  shrink_opts.perturb_at = perturb_at;
+  const check::ShrinkResult shrunk = check::shrink(failure.spec, failure.violation, shrink_opts);
+  std::printf("  shrunk: %zu -> %zu workloads (%d attempts, %d accepted)\n",
+              failure.spec.workloads.size(), shrunk.minimal.workloads.size(), shrunk.attempts,
+              shrunk.accepted);
+
+  const check::Localization loc =
+      check::localize_violation(shrunk.minimal, shrunk.violation, perturb_at, opts.check);
+  if (loc.located) {
+    std::printf("  first divergent event: t=%.6fs seq=%llu subsystem=%s\n",
+                sim::to_seconds(loc.event_time), static_cast<unsigned long long>(loc.event_seq),
+                loc.subsystem.c_str());
+  } else {
+    std::printf("  localization: %s\n", loc.detail.c_str());
+  }
+
+  check::Repro repro;
+  repro.spec = shrunk.minimal;
+  repro.run_seed = failure.run_seed;
+  repro.oracle = shrunk.violation.oracle;
+  repro.detail = shrunk.violation.detail;
+  repro.offset = shrunk.violation.offset;
+  repro.perturb_at = perturb_at;
+  const std::string path = args.out_dir + "/repro-run" + std::to_string(failure.run) + ".mvqs";
+  if (snapshot::Snapshot::write_file(path, check::save_repro(repro))) {
+    std::printf("  repro written: %s (replay with --repro)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "mvqoe_fuzz: cannot write %s\n", path.c_str());
+  }
+}
+
+int cmd_repro(const Args& args) {
+  const snapshot::Snapshot blob = snapshot::Snapshot::read_file(args.repro_path);
+  const check::Repro repro = check::load_repro(blob);
+  std::printf("repro: oracle=%s offset=+%.0fs perturb=%s seed=%llu\n  recorded: %s\n",
+              repro.oracle.c_str(), sim::to_seconds(repro.offset),
+              repro.perturb_at ? "yes" : "no", static_cast<unsigned long long>(repro.run_seed),
+              repro.detail.c_str());
+  check::CheckOptions opts;
+  opts.meta_determinism = args.meta;
+  const check::ReproReport report = check::replay_repro(repro, opts);
+  if (report.reproduced) {
+    std::printf("REPRODUCED: %s\n  %s\n", report.violation->oracle.c_str(),
+                report.violation->detail.c_str());
+    return 0;
+  }
+  if (report.violation) {
+    std::printf("DIFFERENT FAILURE: %s\n  %s\n", report.violation->oracle.c_str(),
+                report.violation->detail.c_str());
+  } else {
+    std::printf("NOT REPRODUCED: scenario ran clean\n");
+  }
+  return 1;
+}
+
+int run_campaign(const Args& args) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::minutes(args.minutes);
+  int total_runs = 0;
+  int total_failed = 0;
+  int batch = 0;
+  do {
+    const std::uint64_t batch_seed =
+        args.minutes > 0 ? stats::derive_seed(args.seed, 1000000ULL + static_cast<std::uint64_t>(batch))
+                         : args.seed;
+    const check::FuzzOptions opts = fuzz_options(args, batch_seed);
+    const check::FuzzSummary summary = check::run_fuzz(opts);
+    for (const check::FuzzFailure& failure : summary.failures) {
+      handle_failure(args, opts, failure);
+    }
+    total_runs += summary.runs;
+    total_failed += summary.failed;
+    std::printf("fuzz summary: seed=%llu runs=%d failed=%d digest=%016llx\n",
+                static_cast<unsigned long long>(batch_seed), summary.runs, summary.failed,
+                static_cast<unsigned long long>(summary.digest));
+    std::fflush(stdout);
+    ++batch;
+  } while (args.minutes > 0 && clock::now() < deadline);
+  if (args.minutes > 0) {
+    std::printf("campaign: %d batches, %d runs, %d failed\n", batch, total_runs, total_failed);
+  }
+  return total_failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.ok) return usage();
+  try {
+    if (!args.repro_path.empty()) return cmd_repro(args);
+    return run_campaign(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mvqoe_fuzz: %s\n", e.what());
+    return 2;
+  }
+}
