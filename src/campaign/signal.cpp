@@ -1,0 +1,36 @@
+#include "campaign/signal.hpp"
+
+namespace mvqoe::campaign {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupt = 0;
+
+void on_signal(int signo) { g_interrupt = signo; }
+
+using Handler = void (*)(int);
+Handler g_prev_int = SIG_DFL;
+Handler g_prev_term = SIG_DFL;
+
+}  // namespace
+
+InterruptGuard::InterruptGuard() {
+  g_interrupt = 0;
+  g_prev_int = std::signal(SIGINT, on_signal);
+  g_prev_term = std::signal(SIGTERM, on_signal);
+}
+
+InterruptGuard::~InterruptGuard() {
+  std::signal(SIGINT, g_prev_int == SIG_ERR ? SIG_DFL : g_prev_int);
+  std::signal(SIGTERM, g_prev_term == SIG_ERR ? SIG_DFL : g_prev_term);
+}
+
+const volatile std::sig_atomic_t* InterruptGuard::flag() const noexcept { return &g_interrupt; }
+
+bool InterruptGuard::interrupted() const noexcept { return g_interrupt != 0; }
+
+int InterruptGuard::signal_number() const noexcept { return static_cast<int>(g_interrupt); }
+
+int InterruptGuard::exit_code() const noexcept { return 128 + signal_number(); }
+
+}  // namespace mvqoe::campaign

@@ -1,0 +1,34 @@
+// Scoped SIGINT/SIGTERM capture for the campaign tools.
+//
+// The handlers only set a process-wide flag; the campaign event loop
+// (and the tools' own loops) poll it at safe points, flush the
+// checkpoint / repro blobs, and exit with the shell convention
+// 128 + signo — instead of the default disposition killing the process
+// mid-write. Combined with atomic file writes this makes Ctrl-C during
+// a soak lose at most the in-flight shard.
+#pragma once
+
+#include <csignal>
+
+namespace mvqoe::campaign {
+
+class InterruptGuard {
+ public:
+  /// Installs SIGINT and SIGTERM handlers; restores the previous
+  /// dispositions on destruction. One live guard per process.
+  InterruptGuard();
+  ~InterruptGuard();
+  InterruptGuard(const InterruptGuard&) = delete;
+  InterruptGuard& operator=(const InterruptGuard&) = delete;
+
+  /// The flag the handlers set (0, or the signal number). Pass to
+  /// CampaignOptions::interrupt.
+  const volatile std::sig_atomic_t* flag() const noexcept;
+
+  bool interrupted() const noexcept;
+  int signal_number() const noexcept;
+  /// 128 + signo — the distinct "interrupted, state flushed" exit code.
+  int exit_code() const noexcept;
+};
+
+}  // namespace mvqoe::campaign

@@ -1,6 +1,7 @@
 #include "check/harness.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "runner/batch.hpp"
 #include "snapshot/digest.hpp"
@@ -97,60 +98,146 @@ RunReport check_scenario(const scenario::ScenarioSpec& scen, const CheckOptions&
 
 // --- Campaign ----------------------------------------------------------------
 
-FuzzSummary run_fuzz(const FuzzOptions& opts) {
-  struct Cell {
-    std::uint64_t run_seed = 0;
-    scenario::ScenarioSpec spec;
-    RunReport report;
-  };
-
-  const auto batch = runner::run_batch(
-      static_cast<std::size_t>(opts.runs), opts.jobs, [&opts](std::size_t i) {
-        Cell cell;
-        cell.run_seed = stats::derive_seed(opts.seed, i + 1);
-        cell.spec = generate_scenario(cell.run_seed, opts.generator);
-        CheckOptions check = opts.check;
-        if (static_cast<int>(i) == opts.perturb_run) check.perturb_at = opts.perturb_offset;
-        cell.report = check_scenario(cell.spec, check);
-        return cell;
-      });
-
-  FuzzSummary summary;
-  summary.runs = opts.runs;
-  snapshot::StateHash hash;
-  for (const auto& slot : batch.runs) {
-    hash.mix(slot.index);
-    hash.mix(slot.ok ? 1 : 0);
-    if (!slot.ok) {
-      // The world threw — report it as a harness-level failure.
-      ++summary.failed;
-      hash.mix_bytes(slot.error);
-      FuzzFailure failure;
-      failure.run = static_cast<int>(slot.index);
-      failure.run_seed = stats::derive_seed(opts.seed, slot.index + 1);
-      failure.spec = generate_scenario(failure.run_seed, opts.generator);
-      failure.violation.oracle = "exception";
-      failure.violation.detail = slot.error;
-      summary.failures.push_back(std::move(failure));
-      continue;
+RunRecord execute_fuzz_run(const FuzzOptions& opts, std::uint64_t index) {
+  RunRecord record;
+  record.index = index;
+  try {
+    const std::uint64_t run_seed = stats::derive_seed(opts.seed, index + 1);
+    const scenario::ScenarioSpec spec = generate_scenario(run_seed, opts.generator);
+    CheckOptions check = opts.check;
+    if (static_cast<std::int64_t>(index) == opts.perturb_run) check.perturb_at = opts.perturb_offset;
+    const RunReport report = check_scenario(spec, check);
+    record.harness_ok = true;
+    record.report_ok = report.ok;
+    record.final_digest = report.final_digest;
+    record.slices = report.slices;
+    if (!report.ok && report.violation) {
+      record.oracle = report.violation->oracle;
+      record.detail = report.violation->detail;
+      record.at = report.violation->at;
+      record.offset = report.violation->offset;
     }
-    const RunReport& report = slot.value.report;
-    hash.mix(report.ok ? 1 : 0);
-    hash.mix(report.final_digest);
-    hash.mix(static_cast<std::uint64_t>(report.slices));
-    if (!report.ok) {
-      ++summary.failed;
-      hash.mix_bytes(report.violation->oracle);
-      FuzzFailure failure;
-      failure.run = static_cast<int>(slot.index);
-      failure.run_seed = slot.value.run_seed;
-      failure.spec = slot.value.spec;
-      failure.violation = *report.violation;
-      summary.failures.push_back(std::move(failure));
+  } catch (const std::exception& e) {
+    record.harness_ok = false;
+    record.error = e.what();
+  } catch (...) {
+    record.harness_ok = false;
+    record.error = "unknown exception";
+  }
+  return record;
+}
+
+void mix_run_record(snapshot::StateHash& hash, const RunRecord& record) {
+  hash.mix(record.index);
+  hash.mix(record.harness_ok ? 1 : 0);
+  if (!record.harness_ok) {
+    hash.mix_bytes(record.error);
+    return;
+  }
+  hash.mix(record.report_ok ? 1 : 0);
+  hash.mix(record.final_digest);
+  hash.mix(static_cast<std::uint64_t>(record.slices));
+  if (!record.report_ok) hash.mix_bytes(record.oracle);
+}
+
+std::uint64_t campaign_digest(const std::vector<RunRecord>& records) {
+  snapshot::StateHash hash;
+  for (const RunRecord& record : records) mix_run_record(hash, record);
+  return hash.value();
+}
+
+FuzzSummary summarize_records(const FuzzOptions& opts, const std::vector<RunRecord>& records) {
+  FuzzSummary summary;
+  summary.runs = static_cast<int>(records.size());
+  for (const RunRecord& record : records) {
+    if (record.harness_ok && record.report_ok) continue;
+    ++summary.failed;
+    FuzzFailure failure;
+    failure.run = static_cast<int>(record.index);
+    failure.run_seed = stats::derive_seed(opts.seed, record.index + 1);
+    // The spec is a pure function of (run_seed, generator config), so
+    // regenerating it here works for records produced in this process
+    // and for records decoded from a worker's shard payload alike.
+    failure.spec = generate_scenario(failure.run_seed, opts.generator);
+    if (!record.harness_ok) {
+      failure.violation.oracle = "exception";
+      failure.violation.detail = record.error;
+    } else {
+      failure.violation.oracle = record.oracle;
+      failure.violation.detail = record.detail;
+      failure.violation.at = record.at;
+      failure.violation.offset = record.offset;
+    }
+    summary.failures.push_back(std::move(failure));
+  }
+  summary.digest = campaign_digest(records);
+  return summary;
+}
+
+void encode_run_record(snapshot::ByteWriter& w, const RunRecord& record) {
+  w.u32(1);  // record version
+  w.u64(record.index);
+  w.b(record.harness_ok);
+  if (!record.harness_ok) {
+    w.str(record.error);
+    return;
+  }
+  w.b(record.report_ok);
+  w.u64(record.final_digest);
+  w.i32(record.slices);
+  if (!record.report_ok) {
+    w.str(record.oracle);
+    w.str(record.detail);
+    w.i64(record.at);
+    w.i64(record.offset);
+  }
+}
+
+RunRecord decode_run_record(snapshot::ByteReader& r) {
+  const std::uint32_t version = r.u32();
+  if (version != 1) {
+    throw std::runtime_error("campaign: unsupported run-record version " +
+                             std::to_string(version));
+  }
+  RunRecord record;
+  record.index = r.u64();
+  record.harness_ok = r.b();
+  if (!record.harness_ok) {
+    record.error = r.str();
+    return record;
+  }
+  record.report_ok = r.b();
+  record.final_digest = r.u64();
+  record.slices = r.i32();
+  if (!record.report_ok) {
+    record.oracle = r.str();
+    record.detail = r.str();
+    record.at = r.i64();
+    record.offset = r.i64();
+  }
+  return record;
+}
+
+FuzzSummary run_fuzz(const FuzzOptions& opts) {
+  const auto batch =
+      runner::run_batch(static_cast<std::size_t>(opts.runs), opts.jobs,
+                        [&opts](std::size_t i) { return execute_fuzz_run(opts, i); });
+  std::vector<RunRecord> records;
+  records.reserve(batch.runs.size());
+  for (const auto& slot : batch.runs) {
+    if (slot.ok) {
+      records.push_back(slot.value);
+    } else {
+      // execute_fuzz_run itself never throws; this is a belt-and-braces
+      // path for allocation failure inside the batch machinery.
+      RunRecord record;
+      record.index = slot.index;
+      record.harness_ok = false;
+      record.error = slot.error;
+      records.push_back(std::move(record));
     }
   }
-  summary.digest = hash.value();
-  return summary;
+  return summarize_records(opts, records);
 }
 
 // --- Repro blobs -------------------------------------------------------------

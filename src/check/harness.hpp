@@ -13,6 +13,7 @@
 #include "check/generator.hpp"
 #include "check/oracles.hpp"
 #include "snapshot/blob.hpp"
+#include "snapshot/digest.hpp"
 #include "snapshot/replay/record.hpp"
 
 namespace mvqoe::check {
@@ -62,6 +63,44 @@ struct FuzzFailure {
   Violation violation;
 };
 
+/// The flattened outcome of one fuzz run — everything the campaign
+/// digest and failure reporting need, and nothing that cannot cross a
+/// process boundary. The in-process pool (run_fuzz) and the
+/// multi-process campaign (src/campaign/fuzz_campaign) both reduce
+/// their runs to RunRecords, so their digests agree by construction.
+struct RunRecord {
+  std::uint64_t index = 0;
+  /// False when the harness itself threw (world construction, OOM, ...);
+  /// `error` carries the exception text and the report fields are unset.
+  bool harness_ok = false;
+  std::string error;
+  /// Oracle verdict of the checked run (valid when harness_ok).
+  bool report_ok = false;
+  std::uint64_t final_digest = 0;
+  int slices = 0;
+  /// Violation context (empty/zero when report_ok).
+  std::string oracle;
+  std::string detail;
+  sim::Time at = 0;
+  sim::Time offset = 0;
+};
+
+/// Execute run `index` of a campaign exactly as run_fuzz would: derive
+/// the run seed, generate the scenario, check it, flatten the outcome.
+/// Never throws — harness exceptions become harness_ok == false records.
+RunRecord execute_fuzz_run(const FuzzOptions& opts, std::uint64_t index);
+
+/// Fold one record into a campaign digest (the order-sensitive per-run
+/// mixing both execution paths share).
+void mix_run_record(snapshot::StateHash& hash, const RunRecord& record);
+
+/// Campaign digest over a complete, index-ordered record sequence.
+std::uint64_t campaign_digest(const std::vector<RunRecord>& records);
+
+/// Wire encoding of a RunRecord (the campaign worker's shard payload).
+void encode_run_record(snapshot::ByteWriter& w, const RunRecord& record);
+RunRecord decode_run_record(snapshot::ByteReader& r);
+
 struct FuzzSummary {
   int runs = 0;
   int failed = 0;
@@ -71,6 +110,10 @@ struct FuzzSummary {
   std::uint64_t digest = 0;
   std::vector<FuzzFailure> failures;
 };
+
+/// Rebuild the FuzzSummary (failure list with regenerated specs, digest)
+/// from a complete, index-ordered record sequence.
+FuzzSummary summarize_records(const FuzzOptions& opts, const std::vector<RunRecord>& records);
 
 /// Run i's world is generate_scenario(derive_seed(seed, i + 1)).
 FuzzSummary run_fuzz(const FuzzOptions& opts);

@@ -1,0 +1,27 @@
+// Low-level pipe I/O shared by every fork-based fan-out in the tree:
+// the warm-start sweep children (runner/warm_sweep) and the campaign
+// worker processes (src/campaign). Unix-only; callers gate on
+// fork_supported().
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mvqoe::runner {
+
+/// True when the platform supports fork()+pipe() process fan-out.
+bool fork_supported() noexcept;
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// Write the whole buffer, retrying short writes and EINTR. False on
+/// error (e.g. the read end vanished).
+bool write_all(int fd, std::string_view data);
+
+/// Drain the fd to EOF (blocking). EINTR is retried; any other error
+/// truncates the result at the bytes read so far.
+std::string read_all(int fd);
+
+#endif
+
+}  // namespace mvqoe::runner

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "snapshot/atomic_file.hpp"
+
 namespace mvqoe::runner {
 
 void JsonWriter::comma() {
@@ -152,15 +154,10 @@ std::string bench_json_path(std::string_view bench_name) {
 }
 
 bool write_file(const std::string& path, std::string_view content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (written != content.size() || !flushed) {
-    std::remove(path.c_str());
-    return false;
-  }
-  return true;
+  // Write-to-temp + rename (snapshot/atomic_file): a kill -9 mid-write
+  // can never leave a truncated BENCH_*.json — readers see either the
+  // previous complete file or the new complete one.
+  return snapshot::atomic_write_file(path, content);
 }
 
 }  // namespace mvqoe::runner

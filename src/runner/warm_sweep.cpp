@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "runner/ipc.hpp"
 #include "scenario/driver.hpp"
 #include "snapshot/bytes.hpp"
 #include "stats/rng.hpp"
@@ -18,18 +19,7 @@
 
 namespace mvqoe::runner {
 
-namespace {
-
-/// One (cell, run) outcome crossing the fork pipe (or, in cold mode,
-/// produced in-process): ok flag + the exact RunOutcome bit patterns, so
-/// warm and cold reductions see identical doubles.
-struct CellRunOutcome {
-  bool ok = false;
-  qoe::RunOutcome outcome;
-  std::string error;
-};
-
-void encode_outcome(snapshot::ByteWriter& w, const CellRunOutcome& result) {
+void encode_cell_outcome(snapshot::ByteWriter& w, const CellRunOutcome& result) {
   w.b(result.ok);
   if (!result.ok) {
     w.str(result.error);
@@ -47,7 +37,7 @@ void encode_outcome(snapshot::ByteWriter& w, const CellRunOutcome& result) {
   w.f64(o.relaunch_downtime_s);
 }
 
-CellRunOutcome decode_outcome(snapshot::ByteReader& r) {
+CellRunOutcome decode_cell_outcome(snapshot::ByteReader& r) {
   CellRunOutcome result;
   result.ok = r.b();
   if (!result.ok) {
@@ -66,6 +56,8 @@ CellRunOutcome decode_outcome(snapshot::ByteReader& r) {
   o.relaunch_downtime_s = r.f64();
   return result;
 }
+
+namespace {
 
 /// Video phase of one cell on an already-prepared scenario world. Runs in
 /// the forked child (warm) — never returns an exception across the pipe.
@@ -87,28 +79,34 @@ CellRunOutcome run_cell_video(scenario::ScenarioDriver& driver, int height, int 
   return result;
 }
 
+#if !MVQOE_WARM_FORK
+/// One cold (cell, run): the whole world from boot, same seed scheme as
+/// the warm path — the portable fallback run_warm_group degrades to.
+CellRunOutcome run_cell_cold(const scenario::ScenarioSpec& proto, mem::PressureLevel state,
+                             int height, int fps, std::uint64_t group_seed,
+                             std::uint64_t video_seed) {
+  CellRunOutcome result;
+  try {
+    scenario::ScenarioSpec spec = proto;
+    scenario::VideoWorkloadSpec& video = scenario::video_spec(spec);
+    video.height = height;
+    video.fps = fps;
+    spec.state = state;
+    spec.world_seed = group_seed;
+    spec.seed = video_seed;
+    video.seed = video_seed;
+    result.outcome = scenario::run_scenario(spec).sessions.at(0).result.outcome;
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  return result;
+}
+#endif  // !MVQOE_WARM_FORK
+
 #if MVQOE_WARM_FORK
-
-bool write_all(int fd, std::string_view data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-std::string read_all(int fd) {
-  std::string out;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
-    out.append(buf, static_cast<std::size_t>(n));
-  }
-  return out;
-}
 
 /// Fork the video phases of one prepared world: each pending cell runs in
 /// its own child (waves of `workers`), returning its outcome over a pipe.
@@ -148,7 +146,7 @@ void fork_group(scenario::ScenarioDriver& driver, const std::vector<PendingCell>
       if (pid == 0) {
         ::close(fds[0]);
         snapshot::ByteWriter w;
-        encode_outcome(w, run_cell_video(driver, cell.height, cell.fps, cell.video_seed));
+        encode_cell_outcome(w, run_cell_video(driver, cell.height, cell.fps, cell.video_seed));
         write_all(fds[1], w.view());
         ::close(fds[1]);
         ::_exit(0);  // no destructors/atexit — the child is a throwaway world
@@ -168,7 +166,7 @@ void fork_group(scenario::ScenarioDriver& driver, const std::vector<PendingCell>
       }
       try {
         snapshot::ByteReader r(payload);
-        out = decode_outcome(r);
+        out = decode_cell_outcome(r);
       } catch (const std::exception& e) {
         out.error = e.what();
       }
@@ -194,7 +192,45 @@ std::uint64_t sweep_video_seed(std::uint64_t group_seed, int height, int fps) no
   return seed;
 }
 
-bool warm_fork_supported() noexcept { return MVQOE_WARM_FORK != 0; }
+bool warm_fork_supported() noexcept { return fork_supported(); }
+
+std::vector<CellRunOutcome> run_warm_group(const scenario::ScenarioSpec& proto,
+                                           mem::PressureLevel state, int run,
+                                           const std::vector<int>& fps,
+                                           const std::vector<int>& heights,
+                                           std::uint64_t base_seed, int workers) {
+  const std::uint64_t group_seed = sweep_group_seed(base_seed, state, run);
+  std::vector<CellRunOutcome> outcomes(fps.size() * heights.size());
+
+#if MVQOE_WARM_FORK
+  scenario::ScenarioSpec world_spec = proto;
+  world_spec.state = state;
+  world_spec.world_seed = group_seed;
+  world_spec.seed = group_seed;                          // placeholder;
+  scenario::video_spec(world_spec).seed = group_seed;    // every cell retargets
+  scenario::ScenarioDriver driver(world_spec);
+  driver.prepare();  // the shared phase, simulated once per group
+
+  std::vector<PendingCell> pending;
+  std::size_t slot = 0;
+  for (const int f : fps) {
+    for (const int h : heights) {
+      pending.push_back(PendingCell{slot++, h, f, sweep_video_seed(group_seed, h, f)});
+    }
+  }
+  fork_group(driver, pending, workers > 0 ? workers : 1, outcomes);
+#else
+  (void)workers;
+  std::size_t slot = 0;
+  for (const int f : fps) {
+    for (const int h : heights) {
+      outcomes[slot++] =
+          run_cell_cold(proto, state, h, f, group_seed, sweep_video_seed(group_seed, h, f));
+    }
+  }
+#endif
+  return outcomes;
+}
 
 std::vector<SweepCellResult> run_sweep_grid_shared(
     const scenario::ScenarioSpec& proto, const std::vector<mem::PressureLevel>& states,
@@ -223,30 +259,16 @@ std::vector<SweepCellResult> run_sweep_grid_shared(
   };
 
   if (mode == SweepMode::Warm && warm_fork_supported()) {
-#if MVQOE_WARM_FORK
     const int workers = resolve_jobs(jobs);
     for (std::size_t s = 0; s < states.size(); ++s) {
       for (int run = 0; run < runs; ++run) {
-        const std::uint64_t group_seed = sweep_group_seed(base_seed, states[s], run);
-        scenario::ScenarioSpec world_spec = proto;
-        world_spec.state = states[s];
-        world_spec.world_seed = group_seed;
-        world_spec.seed = group_seed;                          // placeholder;
-        scenario::video_spec(world_spec).seed = group_seed;    // every cell retargets
-        scenario::ScenarioDriver driver(world_spec);
-        driver.prepare();  // the shared phase, simulated once per group
-
-        std::vector<PendingCell> pending;
+        const std::vector<CellRunOutcome> group =
+            run_warm_group(proto, states[s], run, fps, heights, base_seed, workers);
         for (std::size_t c = 0; c < cells_per_state; ++c) {
-          const std::size_t cell_index = s * cells_per_state + c;
-          const SweepCellResult& cell = cells[cell_index];
-          pending.push_back(PendingCell{slot_of(cell_index, run), cell.height, cell.fps,
-                                        sweep_video_seed(group_seed, cell.height, cell.fps)});
+          outcomes[slot_of(s * cells_per_state + c, run)] = group[c];
         }
-        fork_group(driver, pending, workers, outcomes);
       }
     }
-#endif
   } else {
     // Cold baseline: every (cell, run) from boot, on the thread pool. The
     // seeds are identical to the warm path's, so so are the outcomes.

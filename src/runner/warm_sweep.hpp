@@ -15,12 +15,28 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "qoe/metrics.hpp"
 #include "runner/video_batch.hpp"
 #include "scenario/spec.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace mvqoe::runner {
+
+/// One (cell, run) outcome crossing a fork pipe (or, in cold mode,
+/// produced in-process): ok flag + the exact RunOutcome bit patterns, so
+/// warm and cold reductions see identical doubles. The campaign workers
+/// (src/campaign) ship the same encoding in their shard payloads.
+struct CellRunOutcome {
+  bool ok = false;
+  qoe::RunOutcome outcome;
+  std::string error;
+};
+
+void encode_cell_outcome(snapshot::ByteWriter& w, const CellRunOutcome& result);
+CellRunOutcome decode_cell_outcome(snapshot::ByteReader& r);
 
 /// World stream for a (state, run) sweep group: every (fps, height) cell
 /// of the group boots the same world from this seed.
@@ -37,6 +53,19 @@ enum class SweepMode {
 /// True when the platform supports the fork-based warm path; when false,
 /// Warm silently degrades to Cold (same results either way).
 bool warm_fork_supported() noexcept;
+
+/// Prepare the (state, run) group's shared world once and run every
+/// (fps, height) cell's video phase from it — each cell in a forked
+/// copy-on-write child, `workers` at a time. Outcomes come back in
+/// fps-major cell order (the grid layout of run_sweep_grid_shared).
+/// Degrades to per-cell cold runs (same seeds, same outcomes) when the
+/// platform has no fork. This is the unit of work a campaign worker
+/// executes per sweep shard (src/campaign/sweep_campaign).
+std::vector<CellRunOutcome> run_warm_group(const scenario::ScenarioSpec& proto,
+                                           mem::PressureLevel state, int run,
+                                           const std::vector<int>& fps,
+                                           const std::vector<int>& heights,
+                                           std::uint64_t base_seed, int workers);
 
 /// Shared-world sweep grid. Layout and reduction match run_sweep_grid
 /// (cells in state-major grid order, runs per cell in run order); only

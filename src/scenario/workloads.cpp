@@ -152,11 +152,17 @@ void BackgroundDutyWorkload::attach(core::Testbed& testbed) {
   // — RESTART a few seconds after lmkd kills them. That restart churn
   // is what makes organic pressure persist through the whole video
   // (paper §4.3 and the continuous kills of Fig 15).
-  auto relaunch = std::make_shared<std::function<void(proc::AppSpec, bool)>>();
-  *relaunch = [&tb, relaunch](proc::AppSpec app, bool active) {
+  relaunch_ = std::make_shared<std::function<void(proc::AppSpec, bool)>>();
+  // Weak refs only inside the chain: the workload owns the function for
+  // the whole run, and a strong self-capture would be an unfreeable
+  // shared_ptr cycle.
+  std::weak_ptr<std::function<void(proc::AppSpec, bool)>> relaunch = relaunch_;
+  *relaunch_ = [&tb, relaunch](proc::AppSpec app, bool active) {
     const auto pid = tb.am.next_pid();
     tb.memory.register_process(pid, app.name, mem::OomAdj::kService, [&tb, relaunch, app, active] {
-      tb.engine.schedule(sim::sec(4), [relaunch, app, active] { (*relaunch)(app, active); });
+      tb.engine.schedule(sim::sec(4), [relaunch, app, active] {
+        if (const auto fn = relaunch.lock()) (*fn)(app, active);
+      });
     });
     // Restarted trimmed: services come back with a reduced heap.
     const mem::Pages heap = app.heap_pages * 3 / 5;
@@ -172,7 +178,9 @@ void BackgroundDutyWorkload::attach(core::Testbed& testbed) {
     const proc::AppSpec& app = catalog[static_cast<std::size_t>(i) % catalog.size()];
     const bool active = i % 2 == 0;
     const auto pid = tb.am.launch(app, [&tb, relaunch, app, active] {
-      tb.engine.schedule(sim::sec(4), [relaunch, app, active] { (*relaunch)(app, active); });
+      tb.engine.schedule(sim::sec(4), [relaunch, app, active] {
+        if (const auto fn = relaunch.lock()) (*fn)(app, active);
+      });
     });
     tb.engine.run_until(tb.engine.now() + sim::msec(800));
     if (active && tb.memory.registry().alive(pid)) {

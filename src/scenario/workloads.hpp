@@ -4,6 +4,7 @@
 // composable in any number per scenario.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -77,6 +78,10 @@ class BackgroundDutyWorkload final : public core::Workload {
   std::string label_;
   int count_;
   mem::PressureLevel observed_ = mem::PressureLevel::Normal;
+  // Owns the service-restart chain; callbacks hold weak refs so the
+  // chain dies with the workload instead of leaking through a
+  // shared_ptr cycle.
+  std::shared_ptr<std::function<void(proc::AppSpec, bool)>> relaunch_;
 };
 
 /// MP-Simulator-style synthetic pressure (paper §4.1): allocate until

@@ -1,0 +1,44 @@
+#include "snapshot/atomic_file.hpp"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MVQOE_HAVE_FSYNC 1
+#else
+#define MVQOE_HAVE_FSYNC 0
+#endif
+
+namespace mvqoe::snapshot {
+
+std::string atomic_temp_path(const std::string& path) {
+  // Pid-suffixed so concurrent processes (campaign coordinator + tools)
+  // targeting different destinations in one directory never collide on
+  // the temp name of a shared prefix.
+#if MVQOE_HAVE_FSYNC
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  return path + ".tmp";
+#endif
+}
+
+bool atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = atomic_temp_path(path);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size() && std::fflush(f) == 0;
+#if MVQOE_HAVE_FSYNC
+  // Durability before visibility: the rename must not be able to land
+  // on disk ahead of the data it points at.
+  if (ok && ::fsync(::fileno(f)) != 0) ok = false;
+#endif
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mvqoe::snapshot

@@ -1,0 +1,24 @@
+// Crash-safe whole-file writes, shared by every on-disk artifact the
+// tree produces (MVQS blobs, BENCH_*.json, campaign checkpoints).
+//
+// The contract is all-or-nothing: a reader never observes a partially
+// written destination. The bytes go to a unique sibling temp file, are
+// flushed (fsync where the platform has it), and the temp is rename()d
+// over the destination — POSIX rename is atomic within a filesystem, so
+// a kill -9 at any instant leaves either the old complete file or the
+// new complete file, never a truncated hybrid.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mvqoe::snapshot {
+
+/// Atomically replace `path` with `bytes`. False on any I/O failure
+/// (the temp file is removed; an existing destination is untouched).
+bool atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// The sibling temp path atomic_write_file uses (exposed for tests).
+std::string atomic_temp_path(const std::string& path);
+
+}  // namespace mvqoe::snapshot

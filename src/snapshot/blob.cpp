@@ -1,8 +1,10 @@
 #include "snapshot/blob.hpp"
 
 #include <cstdio>
+#include <exception>
 #include <stdexcept>
 
+#include "snapshot/atomic_file.hpp"
 #include "snapshot/digest.hpp"
 
 namespace mvqoe::snapshot {
@@ -42,7 +44,12 @@ std::string Snapshot::serialize() const {
 }
 
 Snapshot Snapshot::parse(std::string_view data) {
+  if (data.empty()) throw std::runtime_error("snapshot: empty input (not an MVQS blob)");
   ByteReader r(data);
+  if (r.remaining() < 12) {
+    throw std::runtime_error("snapshot: input shorter than the MVQS header (" +
+                             std::to_string(data.size()) + " bytes)");
+  }
   if (r.u32() != kMagic) throw std::runtime_error("snapshot: bad magic (not an MVQS blob)");
   const std::uint32_t version = r.u32();
   if (version < kMinFormatVersion || version > kFormatVersion) {
@@ -51,13 +58,22 @@ Snapshot Snapshot::parse(std::string_view data) {
   const std::uint32_t count = r.u32();
   Snapshot snap;
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (r.remaining() < 12) {
+      throw std::runtime_error("snapshot: truncated at section " + std::to_string(i) + " of " +
+                               std::to_string(count) + " (section header cut short)");
+    }
     const std::uint32_t t = r.u32();
     const std::uint64_t len = r.u64();
-    if (len > r.remaining()) throw std::runtime_error("snapshot: truncated section '" + tag_name(t) + "'");
-    std::string payload;
-    payload.reserve(len);
-    for (std::uint64_t b = 0; b < len; ++b) payload += static_cast<char>(r.u8());
-    snap.put(t, std::move(payload));
+    if (len > r.remaining()) {
+      throw std::runtime_error("snapshot: truncated section '" + tag_name(t) + "' (" +
+                               std::to_string(len) + " bytes declared, " +
+                               std::to_string(r.remaining()) + " available)");
+    }
+    snap.put(t, std::string(r.raw(static_cast<std::size_t>(len))));
+  }
+  if (!r.done()) {
+    throw std::runtime_error("snapshot: " + std::to_string(r.remaining()) +
+                             " trailing bytes after the last section (corrupt or garbage blob)");
   }
   return snap;
 }
@@ -72,16 +88,9 @@ std::uint64_t Snapshot::digest() const {
 }
 
 bool Snapshot::write_file(const std::string& path, const Snapshot& snap) {
-  const std::string data = snap.serialize();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != data.size() || !closed) {
-    std::remove(path.c_str());
-    return false;
-  }
-  return true;
+  // Atomic temp+rename (snapshot/atomic_file): a kill -9 mid-write can
+  // never leave a truncated .mvqs blob at the destination.
+  return atomic_write_file(path, snap.serialize());
 }
 
 Snapshot Snapshot::read_file(const std::string& path) {
@@ -94,7 +103,16 @@ Snapshot Snapshot::read_file(const std::string& path) {
   const bool err = std::ferror(f) != 0;
   std::fclose(f);
   if (err) throw std::runtime_error("snapshot: read error on " + path);
-  return parse(data);
+  try {
+    return parse(data);
+  } catch (const std::exception& e) {
+    // Re-anchor parse diagnostics on the file, so "--resume damaged.mvqs"
+    // names the blob it rejected.
+    std::string what = e.what();
+    constexpr std::string_view prefix = "snapshot: ";
+    if (what.rfind(prefix, 0) == 0) what.erase(0, prefix.size());
+    throw std::runtime_error("snapshot: " + path + ": " + what);
+  }
 }
 
 }  // namespace mvqoe::snapshot

@@ -61,6 +61,8 @@ class ByteReader {
     const std::string_view s = take(n);
     return std::string(s);
   }
+  /// Bounds-checked view of the next n raw bytes.
+  std::string_view raw(std::size_t n) { return take(n); }
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool done() const noexcept { return remaining() == 0; }

@@ -32,6 +32,7 @@ Snapshot record_run(const ScenarioSpec& scen, const RecordOptions& options) {
   std::vector<TrailEntry> trail;
   trail.push_back(TrailEntry{0, driver.digest()});
   while (!driver.done()) {
+    if (options.stop != nullptr && *options.stop != 0) break;
     driver.advance_to_offset(driver.offset() + options.interval);
     trail.push_back(TrailEntry{driver.offset(), driver.digest()});
   }

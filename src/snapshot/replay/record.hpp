@@ -11,6 +11,7 @@
 // first subsystem whose digest differs.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -43,6 +44,11 @@ struct RecordOptions {
   /// Test hook: corrupt one RNG bit at this offset during the recording
   /// itself (used to manufacture known-bad blobs).
   std::optional<sim::Time> perturb_at;
+  /// Polled between checkpoint intervals; when it goes nonzero the
+  /// recording stops at the next boundary and the partial (but fully
+  /// well-formed) blob is returned — the SIGINT/SIGTERM flush path of
+  /// tools/mvqoe_replay (campaign/signal.hpp).
+  const volatile std::sig_atomic_t* stop = nullptr;
 };
 
 struct ReplayMeta {

@@ -1,0 +1,604 @@
+// Campaign subsystem tests (DESIGN.md §13): coordinator supervision
+// (crash retry, heartbeat kill, retry-budget degradation), kill-and-
+// resume checkpoint determinism, checkpoint/config round-trips and
+// corruption rejection, atomic file replacement, and sweep-campaign
+// parity with the in-process grid.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/coordinator.hpp"
+#include "campaign/fuzz_campaign.hpp"
+#include "campaign/sweep_campaign.hpp"
+#include "check/harness.hpp"
+#include "runner/ipc.hpp"
+#include "snapshot/atomic_file.hpp"
+#include "snapshot/blob.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define MVQOE_TEST_FORK 1
+#else
+#define MVQOE_TEST_FORK 0
+#endif
+
+namespace {
+
+using namespace mvqoe;
+
+/// Unique scratch path under the test working directory, cleaned up on
+/// destruction.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_("campaign_test_" + name + "_" + std::to_string(::testing::UnitTest::GetInstance()
+                                                                 ->random_seed()) +
+              ".mvqs") {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() {
+    std::remove(path_.c_str());
+    std::remove(snapshot::atomic_temp_path(path_).c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Trivial deterministic unit: payload is a pure function of the index.
+std::string unit_payload(std::uint64_t unit) {
+  return "unit-" + std::to_string(unit * unit + 7);
+}
+
+campaign::CampaignOptions fast_options() {
+  campaign::CampaignOptions opts;
+  opts.procs = 3;
+  opts.shard_size = 4;
+  opts.max_attempts = 3;
+  opts.backoff_ms = 5;
+  return opts;
+}
+
+check::FuzzOptions small_fuzz() {
+  check::FuzzOptions opts;
+  opts.seed = 11;
+  opts.runs = 12;
+  opts.jobs = 1;
+  opts.generator.max_duration_s = 4;
+  opts.check.meta_determinism = false;
+  return opts;
+}
+
+// --- Coordinator ------------------------------------------------------------
+
+TEST(Coordinator, RunsAllUnitsAcrossProcesses) {
+  const auto result = campaign::run_campaign(17, unit_payload, fast_options());
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.units_done, 17u);
+  EXPECT_EQ(result.units_from_checkpoint, 0u);
+  ASSERT_EQ(result.payloads.size(), 17u);
+  for (std::uint64_t i = 0; i < 17; ++i) {
+    EXPECT_TRUE(result.completed[i]);
+    EXPECT_EQ(result.payloads[i], unit_payload(i));
+  }
+  // ceil(17 / 4) shards, all completed first try.
+  ASSERT_EQ(result.shards.size(), 5u);
+  for (const auto& shard : result.shards) {
+    EXPECT_EQ(shard.status, campaign::ShardStatus::Completed);
+    EXPECT_EQ(shard.attempts, 1);
+  }
+}
+
+TEST(Coordinator, ZeroUnitsIsCompleteAndEmpty) {
+  const auto result = campaign::run_campaign(0, unit_payload, fast_options());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.units_done, 0u);
+  EXPECT_TRUE(result.shards.empty());
+}
+
+TEST(Coordinator, InterruptFlagStopsBeforeWork) {
+  static volatile std::sig_atomic_t flag = 1;
+  auto opts = fast_options();
+  opts.interrupt = &flag;
+  const auto result = campaign::run_campaign(8, unit_payload, opts);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.units_done, 0u);
+}
+
+#if MVQOE_TEST_FORK
+
+TEST(Coordinator, CrashedWorkerIsRetriedAndRecovers) {
+  auto opts = fast_options();
+  opts.hooks.abort_unit = 5;      // second shard [4..8) dies on attempt 1
+  opts.hooks.abort_attempts = 1;
+  const auto result = campaign::run_campaign(10, unit_payload, opts);
+  ASSERT_TRUE(result.complete);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(result.payloads[i], unit_payload(i));
+  bool retried = false;
+  for (const auto& shard : result.shards) {
+    EXPECT_EQ(shard.status, campaign::ShardStatus::Completed);
+    if (shard.first_unit == 4) {
+      EXPECT_EQ(shard.attempts, 2);
+      retried = true;
+    }
+  }
+  EXPECT_TRUE(retried);
+}
+
+TEST(Coordinator, CrashSalvagesUnitsDeliveredBeforeDeath) {
+  auto opts = fast_options();
+  opts.procs = 1;
+  opts.shard_size = 8;
+  opts.hooks.abort_unit = 6;  // units 0..5 stream back before the kill
+  opts.hooks.abort_attempts = 1;
+  const auto result = campaign::run_campaign(8, unit_payload, opts);
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.shards.size(), 1u);
+  EXPECT_EQ(result.shards[0].attempts, 2);
+}
+
+TEST(Coordinator, RetryBudgetExhaustionDegradesNotHangs) {
+  auto opts = fast_options();
+  opts.max_attempts = 2;
+  opts.hooks.abort_unit = 5;
+  opts.hooks.abort_attempts = 99;  // every attempt dies
+  const auto result = campaign::run_campaign(10, unit_payload, opts);
+  EXPECT_FALSE(result.complete);
+  // The poisoned shard loses its remainder from the crash point on
+  // (units 5..7 of shard [4..8)); everything delivered before each
+  // crash and every other shard survives.
+  EXPECT_EQ(result.units_done, 7u);
+  EXPECT_TRUE(result.completed[4]);
+  EXPECT_FALSE(result.completed[5]);
+  EXPECT_FALSE(result.completed[6]);
+  EXPECT_FALSE(result.completed[7]);
+  bool failed_shard = false;
+  for (const auto& shard : result.shards) {
+    if (shard.status == campaign::ShardStatus::Failed) {
+      failed_shard = true;
+      EXPECT_EQ(shard.attempts, 2);
+      EXPECT_NE(shard.error.find("signal"), std::string::npos) << shard.error;
+    }
+  }
+  EXPECT_TRUE(failed_shard);
+}
+
+TEST(Coordinator, HungWorkerIsKilledByHeartbeatAndRetried) {
+  auto opts = fast_options();
+  opts.heartbeat_timeout_ms = 300;
+  opts.hooks.hang_unit = 2;
+  opts.hooks.hang_attempts = 1;
+  const auto result = campaign::run_campaign(6, unit_payload, opts);
+  ASSERT_TRUE(result.complete);
+  bool retried = false;
+  for (const auto& shard : result.shards) {
+    if (shard.first_unit == 0) {
+      EXPECT_GE(shard.attempts, 2);
+      retried = true;
+    }
+  }
+  EXPECT_TRUE(retried);
+}
+
+TEST(Coordinator, UnitExceptionSurfacesAsWorkerExit) {
+  auto opts = fast_options();
+  opts.max_attempts = 2;
+  opts.backoff_ms = 1;
+  const auto fn = [](std::uint64_t unit) -> std::string {
+    if (unit == 3) throw std::runtime_error("poisoned unit");
+    return unit_payload(unit);
+  };
+  const auto result = campaign::run_campaign(6, fn, opts);
+  EXPECT_FALSE(result.complete);
+  bool failed_shard = false;
+  for (const auto& shard : result.shards) {
+    if (shard.status == campaign::ShardStatus::Failed) {
+      failed_shard = true;
+      EXPECT_NE(shard.error.find("code 3"), std::string::npos) << shard.error;
+    }
+  }
+  EXPECT_TRUE(failed_shard);
+}
+
+#endif  // MVQOE_TEST_FORK
+
+TEST(Coordinator, CheckpointAndResumeCoverAllUnits) {
+  ScratchFile state("resume");
+  // Phase 1: run with an interrupt raised mid-campaign so only part of
+  // the work lands in the checkpoint.
+  static volatile std::sig_atomic_t flag = 0;
+  flag = 0;
+  auto opts = fast_options();
+  opts.procs = 1;
+  opts.state_path = state.path();
+  opts.interrupt = &flag;
+  const auto interrupt_after_one = [&](std::uint64_t unit) {
+    if (unit == 5) flag = 1;  // trip the flag from inside a worker-side call
+    return unit_payload(unit);
+  };
+  const auto partial = campaign::run_campaign(12, interrupt_after_one, opts);
+  // The flag is process-wide only in the serial fallback; under fork the
+  // coordinator may still finish. Force a useful precondition either way.
+  if (!partial.complete) {
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_LT(partial.units_done, 12u);
+  }
+
+  // Phase 2: resume (or re-run over the complete checkpoint — also legal).
+  auto resume_opts = fast_options();
+  resume_opts.state_path = state.path();
+  resume_opts.resume = true;
+  const auto resumed = campaign::run_campaign(12, unit_payload, resume_opts);
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.units_from_checkpoint, partial.units_done);
+  for (std::uint64_t i = 0; i < 12; ++i) EXPECT_EQ(resumed.payloads[i], unit_payload(i));
+}
+
+TEST(Coordinator, ResumeRejectsFingerprintMismatch) {
+  ScratchFile state("fingerprint");
+  auto opts = fast_options();
+  opts.state_path = state.path();
+  opts.fingerprint = 0x1111;
+  ASSERT_TRUE(campaign::run_campaign(4, unit_payload, opts).complete);
+
+  auto resume_opts = fast_options();
+  resume_opts.state_path = state.path();
+  resume_opts.resume = true;
+  resume_opts.fingerprint = 0x2222;
+  EXPECT_THROW(campaign::run_campaign(4, unit_payload, resume_opts), std::runtime_error);
+}
+
+TEST(Coordinator, ResumeRejectsUnitCountMismatch) {
+  ScratchFile state("unitcount");
+  auto opts = fast_options();
+  opts.state_path = state.path();
+  ASSERT_TRUE(campaign::run_campaign(4, unit_payload, opts).complete);
+
+  auto resume_opts = fast_options();
+  resume_opts.state_path = state.path();
+  resume_opts.resume = true;
+  EXPECT_THROW(campaign::run_campaign(9, unit_payload, resume_opts), std::runtime_error);
+}
+
+// --- Checkpoint blob --------------------------------------------------------
+
+campaign::CheckpointState sample_state() {
+  campaign::CheckpointState state;
+  state.fingerprint = 0xfeedface;
+  state.config = "cfg-bytes";
+  state.total_units = 9;
+  state.units = {{0, "a"}, {3, "bb"}, {8, ""}};
+  campaign::ShardOutcome shard;
+  shard.first_unit = 0;
+  shard.unit_count = 4;
+  shard.attempts = 2;
+  shard.status = campaign::ShardStatus::Failed;
+  shard.error = "worker killed by signal 9";
+  state.shards.push_back(shard);
+  return state;
+}
+
+TEST(Checkpoint, RoundTripsThroughBlob) {
+  const auto state = sample_state();
+  const auto loaded = campaign::load_checkpoint(campaign::save_checkpoint(state));
+  EXPECT_EQ(loaded.fingerprint, state.fingerprint);
+  EXPECT_EQ(loaded.config, state.config);
+  EXPECT_EQ(loaded.total_units, state.total_units);
+  EXPECT_EQ(loaded.units, state.units);
+  ASSERT_EQ(loaded.shards.size(), 1u);
+  EXPECT_EQ(loaded.shards[0].attempts, 2);
+  EXPECT_EQ(loaded.shards[0].status, campaign::ShardStatus::Failed);
+  EXPECT_EQ(loaded.shards[0].error, state.shards[0].error);
+}
+
+TEST(Checkpoint, RejectsOutOfOrderUnits) {
+  auto state = sample_state();
+  state.units = {{3, "x"}, {1, "y"}};
+  EXPECT_THROW(campaign::load_checkpoint(campaign::save_checkpoint(state)), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsUnitIndexOutOfRange) {
+  auto state = sample_state();
+  state.units = {{0, "x"}, {9, "y"}};  // total_units == 9: max index is 8
+  EXPECT_THROW(campaign::load_checkpoint(campaign::save_checkpoint(state)), std::runtime_error);
+}
+
+TEST(Checkpoint, ReadFileWrapsDiagnosticsWithPath) {
+  ScratchFile file("missing");
+  try {
+    campaign::read_checkpoint_file(file.path());
+    FAIL() << "expected a throw for a missing checkpoint";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(file.path()), std::string::npos) << e.what();
+  }
+}
+
+// --- Atomic writes + hardened blob parsing ----------------------------------
+
+TEST(AtomicFile, ReplacesWithoutTempResidue) {
+  ScratchFile file("atomic");
+  ASSERT_TRUE(snapshot::atomic_write_file(file.path(), "first"));
+  ASSERT_TRUE(snapshot::atomic_write_file(file.path(), "second"));
+  std::FILE* f = std::fopen(file.path().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "second");
+  EXPECT_FALSE(std::filesystem::exists(snapshot::atomic_temp_path(file.path())));
+}
+
+TEST(AtomicFile, FailureLeavesExistingDestinationIntact) {
+  // Writing under a nonexistent directory fails without touching
+  // anything and without leaving a temp file behind.
+  const std::string path = "campaign_test_no_such_dir/state.mvqs";
+  EXPECT_FALSE(snapshot::atomic_write_file(path, "bytes"));
+  EXPECT_FALSE(std::filesystem::exists(snapshot::atomic_temp_path(path)));
+}
+
+TEST(Blob, ShortWriteIsRejectedOnRead) {
+  ScratchFile file("short");
+  snapshot::Snapshot snap;
+  snap.put(snapshot::tag("TEST"), std::string(64, 'x'));
+  const std::string full = snap.serialize();
+  // Simulate the pre-atomic-write failure mode: a truncated file at the
+  // destination. Every truncation point must throw, never misparse.
+  for (const std::size_t cut : {full.size() - 1, full.size() / 2, std::size_t{13}}) {
+    ASSERT_TRUE(snapshot::atomic_write_file(file.path(), std::string_view(full).substr(0, cut)));
+    EXPECT_THROW(snapshot::Snapshot::read_file(file.path()), std::runtime_error) << cut;
+  }
+}
+
+TEST(Blob, EveryPrefixTruncationThrows) {
+  snapshot::Snapshot snap;
+  snap.put(snapshot::tag("AAAA"), "payload-one");
+  snap.put(snapshot::tag("BBBB"), "payload-two-longer");
+  const std::string full = snap.serialize();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_THROW(snapshot::Snapshot::parse(std::string_view(full).substr(0, cut)),
+                 std::runtime_error)
+        << "prefix length " << cut;
+  }
+  EXPECT_NO_THROW(snapshot::Snapshot::parse(full));
+}
+
+TEST(Blob, SeededCorruptionNeverCrashes) {
+  snapshot::Snapshot snap;
+  snap.put(snapshot::tag("CAMP"), std::string(128, 'z'));
+  const std::string full = snap.serialize();
+  std::uint64_t rng = 0x243f6a8885a308d3ULL;  // fixed seed: deterministic
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = full;
+    const int flips = 1 + static_cast<int>(rng % 4);
+    for (int f = 0; f < flips; ++f) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      mutated[(rng >> 33) % mutated.size()] ^= static_cast<char>(1 << ((rng >> 29) & 7));
+    }
+    // Must either parse (flip hit a payload byte) or throw — never UB.
+    try {
+      snapshot::Snapshot::parse(mutated);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(Blob, TrailingGarbageIsRejected) {
+  snapshot::Snapshot snap;
+  snap.put(snapshot::tag("TEST"), "x");
+  const std::string full = snap.serialize() + "garbage";
+  EXPECT_THROW(snapshot::Snapshot::parse(full), std::runtime_error);
+}
+
+// --- Fuzz campaign ----------------------------------------------------------
+
+TEST(FuzzCampaign, ConfigRoundTripsAndFingerprints) {
+  check::FuzzOptions opts = small_fuzz();
+  opts.perturb_run = 4;
+  opts.check.perturb_at = sim::sec(3);
+  const auto decoded = campaign::decode_fuzz_config(campaign::encode_fuzz_config(opts));
+  EXPECT_EQ(decoded.seed, opts.seed);
+  EXPECT_EQ(decoded.runs, opts.runs);
+  EXPECT_EQ(decoded.generator.max_videos, opts.generator.max_videos);
+  EXPECT_EQ(decoded.generator.max_duration_s, opts.generator.max_duration_s);
+  EXPECT_EQ(decoded.check.meta_determinism, opts.check.meta_determinism);
+  EXPECT_EQ(decoded.check.perturb_at, opts.check.perturb_at);
+  EXPECT_EQ(decoded.perturb_run, opts.perturb_run);
+  EXPECT_EQ(campaign::fuzz_config_fingerprint(decoded),
+            campaign::fuzz_config_fingerprint(opts));
+  // The parallelism knob is deliberately outside the fingerprint.
+  check::FuzzOptions other_jobs = opts;
+  other_jobs.jobs = 16;
+  EXPECT_EQ(campaign::fuzz_config_fingerprint(other_jobs),
+            campaign::fuzz_config_fingerprint(opts));
+  check::FuzzOptions other_seed = opts;
+  other_seed.seed = 999;
+  EXPECT_NE(campaign::fuzz_config_fingerprint(other_seed),
+            campaign::fuzz_config_fingerprint(opts));
+}
+
+TEST(FuzzCampaign, DigestMatchesInProcessPool) {
+  const check::FuzzOptions opts = small_fuzz();
+  const check::FuzzSummary serial = check::run_fuzz(opts);
+
+  auto copts = fast_options();
+  const auto result = campaign::run_fuzz_campaign(opts, copts);
+  ASSERT_TRUE(result.campaign.complete);
+  EXPECT_EQ(result.summary.digest, serial.digest);
+  EXPECT_EQ(result.summary.failed, serial.failed);
+  EXPECT_EQ(result.summary.runs, serial.runs);
+}
+
+#if MVQOE_TEST_FORK
+
+TEST(FuzzCampaign, DigestSurvivesWorkerCrashAndRetry) {
+  const check::FuzzOptions opts = small_fuzz();
+  const check::FuzzSummary serial = check::run_fuzz(opts);
+
+  auto copts = fast_options();
+  copts.hooks.abort_unit = 6;
+  copts.hooks.abort_attempts = 1;
+  const auto result = campaign::run_fuzz_campaign(opts, copts);
+  ASSERT_TRUE(result.campaign.complete);
+  EXPECT_EQ(result.summary.digest, serial.digest);
+}
+
+TEST(FuzzCampaign, KillResumeProducesIdenticalDigest) {
+  const check::FuzzOptions opts = small_fuzz();
+  const check::FuzzSummary serial = check::run_fuzz(opts);
+
+  ScratchFile state("killresume");
+  // The coordinator SIGKILLs itself right after its first progress
+  // checkpoint — the kill -9 acceptance scenario, in-process. Fork so
+  // the test survives the suicide.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto copts = fast_options();
+    copts.procs = 2;
+    copts.state_path = state.path();
+    copts.hooks.kill_after_checkpoints = 1;
+    (void)campaign::run_fuzz_campaign(opts, copts);
+    ::_exit(0);  // unreachable: the hook kills the process first
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The checkpoint written microseconds before the SIGKILL must load and
+  // resume to the exact serial digest.
+  const check::FuzzOptions recovered = campaign::load_fuzz_resume_config(state.path());
+  EXPECT_EQ(recovered.seed, opts.seed);
+  EXPECT_EQ(recovered.runs, opts.runs);
+
+  auto resume_opts = fast_options();
+  resume_opts.procs = 2;
+  resume_opts.state_path = state.path();
+  resume_opts.resume = true;
+  const auto resumed = campaign::run_fuzz_campaign(recovered, resume_opts);
+  ASSERT_TRUE(resumed.campaign.complete);
+  EXPECT_GT(resumed.campaign.units_from_checkpoint, 0u);
+  EXPECT_EQ(resumed.summary.digest, serial.digest);
+}
+
+#endif  // MVQOE_TEST_FORK
+
+TEST(FuzzCampaign, DamagedCheckpointFailsWithDiagnosticNotUB) {
+  ScratchFile state("damaged");
+  // A complete, valid checkpoint...
+  auto copts = fast_options();
+  copts.state_path = state.path();
+  const check::FuzzOptions opts = small_fuzz();
+  ASSERT_TRUE(campaign::run_fuzz_campaign(opts, copts).campaign.complete);
+
+  // ...then damaged in place: truncations and byte flips must all raise
+  // a clean path-carrying diagnostic through --resume's load path.
+  std::FILE* f = std::fopen(state.path().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string bytes(1 << 20, '\0');
+  bytes.resize(std::fread(bytes.data(), 1, bytes.size(), f));
+  std::fclose(f);
+  ASSERT_FALSE(bytes.empty());
+
+  const auto expect_diagnostic = [&](const std::string& mutated) {
+    ASSERT_TRUE(snapshot::atomic_write_file(state.path(), mutated));
+    try {
+      (void)campaign::load_fuzz_resume_config(state.path());
+      // Some payload-byte flips still parse; that's fine — resume then
+      // fails later on the fingerprint check instead.
+    } catch (const std::exception& e) {
+      EXPECT_NE(std::string(e.what()).find(state.path()), std::string::npos) << e.what();
+    }
+  };
+  expect_diagnostic(bytes.substr(0, bytes.size() / 2));
+  expect_diagnostic(bytes.substr(0, 7));
+  expect_diagnostic("");
+  std::string flipped = bytes;
+  flipped[0] ^= 0x5a;  // magic
+  expect_diagnostic(flipped);
+  flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x5a;  // somewhere inside the CAMP payload
+  expect_diagnostic(flipped);
+}
+
+// --- Sweep campaign ---------------------------------------------------------
+
+campaign::SweepCampaignSpec small_sweep() {
+  campaign::SweepCampaignSpec spec;
+  spec.family = "fig16";
+  spec.duration_s = 4;
+  spec.states = {mem::PressureLevel::Normal, mem::PressureLevel::Critical};
+  spec.fps = {30, 60};
+  spec.heights = {240, 480};
+  spec.runs = 2;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(SweepCampaign, ConfigRoundTrips) {
+  const auto spec = small_sweep();
+  const auto decoded = campaign::decode_sweep_config(campaign::encode_sweep_config(spec));
+  EXPECT_EQ(decoded.family, spec.family);
+  EXPECT_EQ(decoded.duration_s, spec.duration_s);
+  EXPECT_EQ(decoded.states, spec.states);
+  EXPECT_EQ(decoded.fps, spec.fps);
+  EXPECT_EQ(decoded.heights, spec.heights);
+  EXPECT_EQ(decoded.runs, spec.runs);
+  EXPECT_EQ(decoded.seed, spec.seed);
+  EXPECT_EQ(campaign::sweep_config_fingerprint(decoded),
+            campaign::sweep_config_fingerprint(spec));
+}
+
+TEST(SweepCampaign, MatchesInProcessGridByteForByte) {
+  const auto spec = small_sweep();
+  // The in-process reference: same proto shape the campaign builds.
+  scenario::ScenarioSpec proto;
+  proto.family = spec.family;
+  scenario::VideoWorkloadSpec session;
+  session.duration_s = spec.duration_s;
+  proto.workloads.emplace_back(std::move(session));
+  const auto reference = runner::run_sweep_grid_shared(
+      proto, spec.states, spec.fps, spec.heights, spec.runs, 1, spec.seed,
+      runner::SweepMode::Cold);
+
+  auto copts = fast_options();
+  copts.shard_size = 1;
+  const auto result = campaign::run_sweep_campaign(spec, copts);
+  ASSERT_TRUE(result.campaign.complete);
+  ASSERT_EQ(result.cells.size(), reference.size());
+
+  const std::string reference_json =
+      runner::sweep_json("campaign_parity", reference, spec.runs, 1, spec.seed);
+  const std::string campaign_json =
+      runner::sweep_json("campaign_parity", result.cells, spec.runs, 1, spec.seed);
+  EXPECT_EQ(campaign_json, reference_json);
+}
+
+TEST(SweepCampaign, ResumeKeepsDigest) {
+  const auto spec = small_sweep();
+  ScratchFile state("sweepresume");
+  auto copts = fast_options();
+  copts.shard_size = 1;
+  copts.state_path = state.path();
+  const auto first = campaign::run_sweep_campaign(spec, copts);
+  ASSERT_TRUE(first.campaign.complete);
+
+  // Resume over the complete checkpoint: zero re-execution, same digest.
+  const auto recovered = campaign::load_sweep_resume_config(state.path());
+  auto resume_opts = fast_options();
+  resume_opts.state_path = state.path();
+  resume_opts.resume = true;
+  const auto resumed = campaign::run_sweep_campaign(recovered, resume_opts);
+  ASSERT_TRUE(resumed.campaign.complete);
+  EXPECT_EQ(resumed.campaign.units_from_checkpoint, campaign::sweep_total_units(spec));
+  EXPECT_EQ(resumed.digest, first.digest);
+}
+
+}  // namespace

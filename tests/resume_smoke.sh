@@ -1,0 +1,65 @@
+#!/bin/sh
+# Kill-and-resume smoke for the multi-process fuzz campaign (ISSUE 6
+# acceptance scenario): a --procs 4 campaign SIGKILLed partway through
+# (coordinator suicide right after a progress checkpoint) and resumed
+# from its state file must print the exact digest of an uninterrupted
+# serial run.
+set -u
+
+FUZZ="$1"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mvqoe_resume_smoke.XXXXXX")" || exit 1
+trap 'rm -rf "$WORK"' EXIT
+
+STATE="$WORK/campaign.mvqs"
+SEED=5
+RUNS=200
+
+echo "== uninterrupted serial run =="
+"$FUZZ" --seed $SEED --runs $RUNS --jobs 1 --no-meta --out "$WORK" \
+    > "$WORK/serial.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "serial run failed with exit $status"
+  cat "$WORK/serial.log"
+  exit 1
+fi
+serial_digest=$(sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' "$WORK/serial.log" | tail -1)
+echo "serial digest: $serial_digest"
+[ -n "$serial_digest" ] || { cat "$WORK/serial.log"; exit 1; }
+
+echo "== campaign SIGKILLed after 2 progress checkpoints =="
+"$FUZZ" --seed $SEED --runs $RUNS --procs 4 --no-meta --out "$WORK" \
+    --state "$STATE" --kill-after-checkpoints 2 > "$WORK/killed.log" 2>&1
+status=$?
+# 137 = 128 + SIGKILL: the coordinator must actually die, not exit.
+if [ $status -ne 137 ]; then
+  echo "expected the campaign to die by SIGKILL (exit 137), got $status"
+  cat "$WORK/killed.log"
+  exit 1
+fi
+[ -f "$STATE" ] || { echo "no checkpoint at $STATE"; exit 1; }
+
+echo "== resume from the checkpoint =="
+"$FUZZ" --resume "$STATE" --procs 4 --no-meta --out "$WORK" \
+    > "$WORK/resume.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "resume failed with exit $status"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+grep -q "resumed:" "$WORK/resume.log" || {
+  echo "resume did not report checkpointed runs"
+  cat "$WORK/resume.log"
+  exit 1
+}
+resumed_digest=$(sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' "$WORK/resume.log" | tail -1)
+echo "resumed digest: $resumed_digest"
+
+if [ "$resumed_digest" != "$serial_digest" ]; then
+  echo "DIGEST MISMATCH: serial=$serial_digest resumed=$resumed_digest"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+echo "OK: kill-and-resume digest identical to uninterrupted serial run"
+exit 0

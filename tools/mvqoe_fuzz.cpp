@@ -19,12 +19,30 @@
 //       batch b reseeded with derive_seed(seed, 1000000 + b)) until N
 //       wall-clock minutes elapse.
 //
+//   mvqoe_fuzz --procs N [--state FILE] [--shard-size N] [--retries N]
+//              [--heartbeat-ms N] [--backoff-ms N] [same flags]
+//       Crash-safe multi-process campaign (DESIGN.md §13): runs are
+//       sharded across N supervised worker processes; a crashed or hung
+//       worker is SIGKILLed and its shard retried with exponential
+//       backoff, and with --state every completed shard is checkpointed
+//       atomically. SIGINT/SIGTERM flush the checkpoint and exit with
+//       128+signo. The digest matches --jobs runs exactly.
+//
+//   mvqoe_fuzz --resume FILE [--procs N]
+//       Resume a killed campaign from its checkpoint: the fuzz
+//       configuration is reconstructed from the blob (a checkpoint from
+//       a different configuration is refused), only the missing runs
+//       execute, and the final digest is byte-identical to an
+//       uninterrupted run.
+//
 //   mvqoe_fuzz --repro FILE
 //       Load a repro blob and re-run its (shrunk) scenario under the
 //       same options; exit 0 iff the recorded oracle trips again.
 //
 // Exit status: 0 all runs clean / repro reproduced, 1 failures found or
-// repro did not reproduce, 2 usage or I/O errors.
+// repro did not reproduce, 2 usage or I/O errors, 3 campaign degraded
+// (a shard exhausted its retry budget), 128+signo interrupted with the
+// checkpoint flushed.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +51,8 @@
 #include <optional>
 #include <string>
 
+#include "campaign/fuzz_campaign.hpp"
+#include "campaign/signal.hpp"
 #include "check/harness.hpp"
 #include "check/shrink.hpp"
 #include "stats/rng.hpp"
@@ -46,6 +66,9 @@ int usage() {
                "usage: mvqoe_fuzz [--seed N] [--runs N] [--jobs N] [--out DIR]\n"
                "                  [--max-videos N] [--max-duration S] [--no-meta]\n"
                "                  [--perturb-run K] [--perturb-at S] [--minutes N]\n"
+               "       mvqoe_fuzz --procs N [--state FILE] [--shard-size N] [--retries N]\n"
+               "                  [--heartbeat-ms N] [--backoff-ms N] [common flags]\n"
+               "       mvqoe_fuzz --resume FILE [--procs N]\n"
                "       mvqoe_fuzz --repro FILE\n");
   return 2;
 }
@@ -62,6 +85,18 @@ struct Args {
   bool meta = true;
   int perturb_run = -1;
   int perturb_at_s = 2;
+  // Campaign mode (multi-process, crash-safe).
+  int procs = 0;  // 0 = in-process --jobs pool; >0 = campaign coordinator
+  std::string state_path;
+  std::string resume_path;
+  int shard_size = 8;
+  int retries = 3;
+  int heartbeat_ms = 120000;
+  int backoff_ms = 100;
+  // Deterministic failure injection (tests; see campaign::TestHooks).
+  int abort_run = -1;
+  int abort_attempts = 1;
+  int kill_after_checkpoints = 0;
   bool ok = true;
 };
 
@@ -103,11 +138,41 @@ Args parse_args(int argc, char** argv) {
       args.perturb_run = std::atoi(value(i));
     } else if (is_flag(i, "--perturb-at")) {
       args.perturb_at_s = std::atoi(value(i));
+    } else if (is_flag(i, "--procs")) {
+      args.procs = std::atoi(value(i));
+    } else if (is_flag(i, "--state")) {
+      args.state_path = value(i);
+    } else if (is_flag(i, "--resume")) {
+      args.resume_path = value(i);
+    } else if (is_flag(i, "--shard-size")) {
+      args.shard_size = std::atoi(value(i));
+    } else if (is_flag(i, "--retries")) {
+      args.retries = std::atoi(value(i));
+    } else if (is_flag(i, "--heartbeat-ms")) {
+      args.heartbeat_ms = std::atoi(value(i));
+    } else if (is_flag(i, "--backoff-ms")) {
+      args.backoff_ms = std::atoi(value(i));
+    } else if (is_flag(i, "--abort-run")) {
+      args.abort_run = std::atoi(value(i));
+    } else if (is_flag(i, "--abort-attempts")) {
+      args.abort_attempts = std::atoi(value(i));
+    } else if (is_flag(i, "--kill-after-checkpoints")) {
+      args.kill_after_checkpoints = std::atoi(value(i));
     } else {
       args.ok = false;
     }
   }
   if (args.runs < 1 || args.max_videos < 1 || args.max_duration < 1) args.ok = false;
+  const bool campaign_mode =
+      args.procs > 0 || !args.state_path.empty() || !args.resume_path.empty();
+  // A --minutes soak reseeds per batch — one checkpoint cannot describe
+  // it, and the coordinator owns parallelism in campaign mode.
+  if (campaign_mode && args.minutes > 0) args.ok = false;
+  if (!args.state_path.empty() && !args.resume_path.empty()) args.ok = false;
+  if (campaign_mode && (args.shard_size < 1 || args.retries < 1 || args.heartbeat_ms < 1 ||
+                        args.backoff_ms < 0)) {
+    args.ok = false;
+  }
   return args;
 }
 
@@ -192,6 +257,80 @@ int cmd_repro(const Args& args) {
   return 1;
 }
 
+/// Multi-process crash-safe campaign (--procs / --state / --resume).
+int cmd_campaign(const Args& args) {
+  check::FuzzOptions opts;
+  if (!args.resume_path.empty()) {
+    opts = campaign::load_fuzz_resume_config(args.resume_path);
+    std::printf("resume: %s (seed=%llu runs=%d)\n", args.resume_path.c_str(),
+                static_cast<unsigned long long>(opts.seed), opts.runs);
+  } else {
+    opts = fuzz_options(args, args.seed);
+  }
+
+  campaign::CampaignOptions copts;
+  copts.procs = args.procs > 0 ? args.procs : 1;
+  copts.shard_size = static_cast<std::size_t>(args.shard_size);
+  copts.max_attempts = args.retries;
+  copts.heartbeat_timeout_ms = args.heartbeat_ms;
+  copts.backoff_ms = args.backoff_ms;
+  copts.state_path = args.resume_path.empty() ? args.state_path : args.resume_path;
+  copts.resume = !args.resume_path.empty();
+  copts.hooks.abort_unit = args.abort_run;
+  copts.hooks.abort_attempts = args.abort_attempts;
+  copts.hooks.kill_after_checkpoints = args.kill_after_checkpoints;
+
+  campaign::InterruptGuard guard;
+  copts.interrupt = guard.flag();
+
+  const campaign::FuzzCampaignResult result = campaign::run_fuzz_campaign(opts, copts);
+
+  if (result.campaign.units_from_checkpoint > 0) {
+    std::printf("resumed: %llu/%d runs from checkpoint, %llu executed\n",
+                static_cast<unsigned long long>(result.campaign.units_from_checkpoint), opts.runs,
+                static_cast<unsigned long long>(result.campaign.units_done -
+                                                result.campaign.units_from_checkpoint));
+  }
+  for (const check::FuzzFailure& failure : result.summary.failures) {
+    handle_failure(args, opts, failure);
+  }
+  for (const campaign::ShardOutcome& shard : result.campaign.shards) {
+    if (shard.status == campaign::ShardStatus::Failed) {
+      std::printf("shard runs [%llu..%llu) FAILED after %d attempts: %s\n",
+                  static_cast<unsigned long long>(shard.first_unit),
+                  static_cast<unsigned long long>(shard.first_unit + shard.unit_count),
+                  shard.attempts, shard.error.c_str());
+    } else if (shard.attempts > 1) {
+      std::printf("shard runs [%llu..%llu) recovered on attempt %d\n",
+                  static_cast<unsigned long long>(shard.first_unit),
+                  static_cast<unsigned long long>(shard.first_unit + shard.unit_count),
+                  shard.attempts);
+    }
+  }
+
+  if (result.campaign.interrupted) {
+    std::printf("interrupted by signal %d: %llu/%d runs done, checkpoint %s\n",
+                guard.signal_number(),
+                static_cast<unsigned long long>(result.campaign.units_done), opts.runs,
+                copts.state_path.empty() ? "disabled (--state not set)"
+                                         : ("flushed to " + copts.state_path).c_str());
+    std::fflush(stdout);
+    return guard.exit_code();
+  }
+  if (!result.campaign.complete) {
+    std::printf("campaign degraded: %llu/%d runs completed, %d failed among them\n",
+                static_cast<unsigned long long>(result.campaign.units_done), opts.runs,
+                result.summary.failed);
+    std::fflush(stdout);
+    return 3;
+  }
+  std::printf("fuzz summary: seed=%llu runs=%d failed=%d digest=%016llx\n",
+              static_cast<unsigned long long>(opts.seed), result.summary.runs,
+              result.summary.failed, static_cast<unsigned long long>(result.summary.digest));
+  std::fflush(stdout);
+  return result.summary.failed == 0 ? 0 : 1;
+}
+
 int run_campaign(const Args& args) {
   using clock = std::chrono::steady_clock;
   const auto deadline = clock::now() + std::chrono::minutes(args.minutes);
@@ -228,6 +367,9 @@ int main(int argc, char** argv) {
   if (!args.ok) return usage();
   try {
     if (!args.repro_path.empty()) return cmd_repro(args);
+    if (args.procs > 0 || !args.state_path.empty() || !args.resume_path.empty()) {
+      return cmd_campaign(args);
+    }
     return run_campaign(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mvqoe_fuzz: %s\n", e.what());

@@ -24,7 +24,8 @@
 //       diverging event and subsystem.
 //
 // Exit status: 0 on success / digests match, 1 on mismatch or divergence,
-// 2 on usage or I/O errors.
+// 2 on usage or I/O errors, 128+signo when a recording is interrupted by
+// SIGINT/SIGTERM (the partial blob is still flushed, atomically).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "campaign/signal.hpp"
 #include "runner/scenario_batch.hpp"
 #include "snapshot/replay/record.hpp"
 
@@ -112,6 +114,11 @@ int cmd_record(const std::string& path, int argc, char** argv) {
     video.seed = runner::contention_session_seed(seed, static_cast<std::size_t>(k));
     scen.workloads.emplace_back(std::move(video));
   }
+  // Ctrl-C / SIGTERM stop the recording at the next checkpoint boundary;
+  // the partial blob is still written atomically so nothing half-formed
+  // ever lands at `path`.
+  const campaign::InterruptGuard guard;
+  options.stop = guard.flag();
   const Snapshot snap = record_run(scen, options);
   if (!Snapshot::write_file(path, snap)) {
     std::fprintf(stderr, "mvqoe_replay: cannot write %s\n", path.c_str());
@@ -121,6 +128,10 @@ int cmd_record(const std::string& path, int argc, char** argv) {
   std::printf("recorded %s: %zu checkpoints every %lds, final digest %016llx\n", path.c_str(),
               load_trail(snap).size(), static_cast<long>(sim::to_seconds(meta.interval)),
               static_cast<unsigned long long>(meta.final_digest));
+  if (guard.interrupted()) {
+    std::printf("interrupted by signal %d: partial recording flushed\n", guard.signal_number());
+    return guard.exit_code();
+  }
   return 0;
 }
 
