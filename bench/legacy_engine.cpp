@@ -1,0 +1,76 @@
+#include "legacy_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mvqoe::bench {
+
+LegacyEngine::EventId LegacyEngine::schedule_at(sim::Time t, Callback fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_seq_;
+  heap_.push_back(Entry{t, next_seq_, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++next_seq_;
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+LegacyEngine::EventId LegacyEngine::schedule(sim::Time delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool LegacyEngine::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  maybe_compact();
+  return true;
+}
+
+void LegacyEngine::maybe_compact() {
+  if (heap_.size() < 64 || cancelled_.size() * 2 <= heap_.size()) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return cancelled_.count(e.id) != 0; }),
+              heap_.end());
+  heap_.shrink_to_fit();
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
+}
+
+bool LegacyEngine::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    const auto cancelled = cancelled_.find(top.id);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    ++dispatched_;
+    if (top.time == last_dispatch_time_) {
+      ++same_time_run_;
+      if (livelock_limit_ != 0 && same_time_run_ == livelock_limit_ + 1) ++livelock_trips_;
+    } else {
+      last_dispatch_time_ = top.time;
+      same_time_run_ = 1;
+    }
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void LegacyEngine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace mvqoe::bench

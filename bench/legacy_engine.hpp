@@ -1,0 +1,60 @@
+// Faithful replica of the pre-arena sim::Engine, for bench_engine's
+// baseline measurement. Per-event std::function storage in an
+// unordered_map, lazily-cancelled ids in an unordered_set, shrink_to_fit
+// compaction — and, like the original, all methods defined out-of-line in
+// their own translation unit, so callers pay the same cross-TU call the
+// old engine's clients paid (the arena engine is header-inline; that
+// difference is part of what the bench measures).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mvqoe::bench {
+
+class LegacyEngine {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  sim::Time now() const noexcept { return now_; }
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+  EventId schedule_at(sim::Time t, Callback fn);
+  EventId schedule(sim::Time delay, Callback fn);
+  bool cancel(EventId id);
+  bool step();
+  void run();
+
+ private:
+  struct Entry {
+    sim::Time time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void maybe_compact();
+
+  sim::Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  sim::Time last_dispatch_time_ = -1;
+  std::uint64_t same_time_run_ = 0;
+  std::uint64_t livelock_limit_ = 0;
+  std::uint64_t livelock_trips_ = 0;
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace mvqoe::bench

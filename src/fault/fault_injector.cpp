@@ -37,7 +37,11 @@ void FaultInjector::set_kill_target(std::function<mem::ProcessId()> resolver) {
 
 void FaultInjector::schedule_action(sim::Time when, sim::Engine::Callback fn) {
   const sim::Time at = std::max(when, targets_.engine->now());
-  pending_.push_back(PendingAction{targets_.engine->schedule_at(when, std::move(fn)), at});
+  const sim::EventId id = targets_.engine->schedule_at(when, std::move(fn));
+  // Persist the seq, not the id: ids encode arena slot positions (an
+  // allocation artifact), seqs are the engine's stable serializable
+  // identity — and what the old id-equals-seq blobs recorded.
+  pending_.push_back(PendingAction{id, targets_.engine->seq_of(id), at});
 }
 
 void FaultInjector::record(trace::InstantKind kind, std::int64_t value) {
@@ -219,7 +223,7 @@ std::vector<FaultInjector::PendingAction> FaultInjector::pending_schedule() cons
     if (action.at >= now) remaining.push_back(action);
   }
   std::sort(remaining.begin(), remaining.end(), [](const PendingAction& a, const PendingAction& b) {
-    return a.at != b.at ? a.at < b.at : a.id < b.id;
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
   });
   return remaining;
 }
@@ -245,7 +249,7 @@ void FaultInjector::save(snapshot::ByteWriter& w) const {
   const auto remaining = pending_schedule();
   w.u64(remaining.size());
   for (const PendingAction& action : remaining) {
-    w.u64(action.id);
+    w.u64(action.seq);
     w.i64(action.at);
   }
 }

@@ -142,13 +142,16 @@ class FaultInjector {
   int open_storage_windows() const noexcept { return open_storage_windows_; }
   int open_thermal_windows() const noexcept { return open_thermal_windows_; }
 
-  /// One scheduled-but-not-yet-fired plan action.
+  /// One scheduled-but-not-yet-fired plan action. `seq` is the engine's
+  /// stable event identity (serialized and sorted on); `id` is only for
+  /// cancellation and encodes arena slot placement.
   struct PendingAction {
     sim::EventId id = sim::kInvalidEvent;
+    std::uint64_t seq = 0;
     sim::Time at = 0;
   };
   /// The remaining fault schedule: actions still pending at engine-now,
-  /// sorted by (at, id). This is what a checkpoint taken mid-outage must
+  /// sorted by (at, seq). This is what a checkpoint taken mid-outage must
   /// restore exactly — the close of an open window lives here.
   std::vector<PendingAction> pending_schedule() const;
 

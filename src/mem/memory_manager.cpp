@@ -222,7 +222,7 @@ void MemoryManager::park_waiter(Pages pages, ProcessId pid, sched::ThreadId tid,
   const std::uint64_t id = next_waiter_id_++;
   waiters_.push_back(Waiter{id, pages, pid, tid, started, std::move(done)});
   maybe_activate_lmkd();
-  engine_.schedule(config_.oom_kill_timeout, [this, id] { oom_check(id); });
+  engine_.schedule_flat(config_.oom_kill_timeout, &MemoryManager::on_oom_check, this, id);
 }
 
 void MemoryManager::oom_check(std::uint64_t waiter_id) {
@@ -246,7 +246,8 @@ void MemoryManager::oom_check(std::uint64_t waiter_id) {
     // Re-arm in case the kill did not free enough (or no victim existed).
     for (const Waiter& again : waiters_) {
       if (again.id == waiter_id && again.done != nullptr) {
-        engine_.schedule(config_.oom_kill_timeout, [this, waiter_id] { oom_check(waiter_id); });
+        engine_.schedule_flat(config_.oom_kill_timeout, &MemoryManager::on_oom_check, this,
+                              waiter_id);
         break;
       }
     }
@@ -684,8 +685,16 @@ void MemoryManager::wake_kswapd() {
     kswapd_running_ = true;
     // Enter the step loop from a fresh event so the waker's call stack
     // stays shallow.
-    engine_.schedule(0, [this] { kswapd_step(); });
+    engine_.schedule_flat(0, &MemoryManager::on_kswapd_step, this);
   }
+}
+
+void MemoryManager::on_oom_check(void* ctx, std::uint64_t waiter_id) {
+  static_cast<MemoryManager*>(ctx)->oom_check(waiter_id);
+}
+
+void MemoryManager::on_kswapd_step(void* ctx, std::uint64_t) {
+  static_cast<MemoryManager*>(ctx)->kswapd_step();
 }
 
 void MemoryManager::kswapd_step() {

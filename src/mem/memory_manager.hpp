@@ -244,6 +244,10 @@ class MemoryManager {
   bool pumping_ = false;
 
   void oom_check(std::uint64_t waiter_id);
+  /// Flat-event trampolines (engine hot path): the OOM watchdog re-arms
+  /// per parked waiter and kswapd's step loop re-enters per batch.
+  static void on_oom_check(void* ctx, std::uint64_t waiter_id);
+  static void on_kswapd_step(void* ctx, std::uint64_t);
 
   std::vector<TrimListener> trim_listeners_;
   std::vector<KillAudit> kill_audits_;

@@ -20,6 +20,14 @@ ProcessMem& ProcessRegistry::add(ProcessId pid, std::string name, int oom_adj,
   process.oom_adj = oom_adj;
   process.lru_seq = ++lru_clock_;
   process.on_kill = std::move(on_kill);
+  if (inserted) {
+    const auto pos = std::lower_bound(
+        by_pid_.begin(), by_pid_.end(), pid,
+        [](const ProcessMem* p, ProcessId key) { return p->pid < key; });
+    by_pid_.insert(pos, &process);
+  }
+  alive_.push_back(&process);
+  order_dirty_ = true;
   return process;
 }
 
@@ -36,11 +44,17 @@ const ProcessMem* ProcessRegistry::find(ProcessId pid) const noexcept {
 bool ProcessRegistry::alive(ProcessId pid) const noexcept { return find(pid) != nullptr; }
 
 void ProcessRegistry::touch(ProcessId pid) noexcept {
-  if (ProcessMem* process = find(pid)) process->lru_seq = ++lru_clock_;
+  if (ProcessMem* process = find(pid)) {
+    process->lru_seq = ++lru_clock_;
+    order_dirty_ = true;
+  }
 }
 
 void ProcessRegistry::set_oom_adj(ProcessId pid, int adj) noexcept {
-  if (ProcessMem* process = find(pid)) process->oom_adj = adj;
+  if (ProcessMem* process = find(pid)) {
+    process->oom_adj = adj;
+    order_dirty_ = true;
+  }
 }
 
 void ProcessRegistry::set_killable(ProcessId pid, bool killable) noexcept {
@@ -58,13 +72,18 @@ ProcessRegistry::FreedPages ProcessRegistry::remove(ProcessId pid) {
   it->second.anon_resident = 0;
   it->second.anon_swapped = 0;
   it->second.file_resident = 0;
+  const auto pos = std::find(alive_.begin(), alive_.end(), &it->second);
+  assert(pos != alive_.end());
+  *pos = alive_.back();  // swap-erase; scan order carries no meaning
+  alive_.pop_back();
+  order_dirty_ = true;
   return freed;
 }
 
 int ProcessRegistry::cached_count() const noexcept {
   int count = 0;
-  for (const auto& [pid, process] : processes_) {
-    if (process.alive && process.oom_adj >= OomAdj::kCached) ++count;
+  for (const ProcessMem* process : alive_) {
+    if (process->oom_adj >= OomAdj::kCached) ++count;
   }
   return count;
 }
@@ -73,8 +92,9 @@ std::optional<ProcessId> ProcessRegistry::pick_victim(int min_adj) const noexcep
   // Highest oom_adj band first; within a band, the largest resident set
   // (classic low-memory-killer selection), coldest LRU as the tiebreak.
   const ProcessMem* best = nullptr;
-  for (const auto& [pid, process] : processes_) {
-    if (!process.alive || !process.killable || process.oom_adj < min_adj) continue;
+  for (const ProcessMem* candidate : alive_) {
+    const ProcessMem& process = *candidate;
+    if (!process.killable || process.oom_adj < min_adj) continue;
     if (best == nullptr || process.oom_adj > best->oom_adj ||
         (process.oom_adj == best->oom_adj &&
          (pss_pages(process) > pss_pages(*best) ||
@@ -85,49 +105,46 @@ std::optional<ProcessId> ProcessRegistry::pick_victim(int min_adj) const noexcep
   return best != nullptr ? std::optional<ProcessId>(best->pid) : std::nullopt;
 }
 
-std::vector<ProcessMem*> ProcessRegistry::reclaim_order() {
-  std::vector<ProcessMem*> order;
-  order.reserve(processes_.size());
-  for (auto& [pid, process] : processes_) {
-    if (process.alive) order.push_back(&process);
-  }
-  std::sort(order.begin(), order.end(), [](const ProcessMem* a, const ProcessMem* b) {
-    if (a->oom_adj != b->oom_adj) return a->oom_adj > b->oom_adj;
-    if (a->lru_seq != b->lru_seq) return a->lru_seq < b->lru_seq;
-    return a->pid < b->pid;
+const std::vector<ProcessMem*>& ProcessRegistry::reclaim_order() {
+  if (!order_dirty_) return order_cache_;
+  // Extract the sort keys into a flat array first (SoA): the sort then
+  // compares inline values instead of dereferencing two ProcessMem
+  // pointers per comparison.
+  struct Key {
+    int oom_adj;
+    std::uint64_t lru_seq;
+    ProcessId pid;
+    ProcessMem* process;
+  };
+  std::vector<Key> keys;
+  keys.reserve(alive_.size());
+  for (ProcessMem* p : alive_) keys.push_back(Key{p->oom_adj, p->lru_seq, p->pid, p});
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.oom_adj != b.oom_adj) return a.oom_adj > b.oom_adj;
+    if (a.lru_seq != b.lru_seq) return a.lru_seq < b.lru_seq;
+    return a.pid < b.pid;
   });
-  return order;
+  order_cache_.clear();
+  order_cache_.reserve(keys.size());
+  for (const Key& k : keys) order_cache_.push_back(k.process);
+  order_dirty_ = false;
+  return order_cache_;
 }
 
 std::vector<const ProcessMem*> ProcessRegistry::all() const {
   std::vector<const ProcessMem*> out;
-  out.reserve(processes_.size());
-  for (const auto& [pid, process] : processes_) {
-    if (process.alive) out.push_back(&process);
+  out.reserve(alive_.size());
+  for (const ProcessMem* process : by_pid_) {
+    if (process->alive) out.push_back(process);
   }
-  std::sort(out.begin(), out.end(),
-            [](const ProcessMem* a, const ProcessMem* b) { return a->pid < b->pid; });
   return out;
-}
-
-std::size_t ProcessRegistry::live_count() const noexcept {
-  std::size_t count = 0;
-  for (const auto& [pid, process] : processes_) {
-    if (process.alive) ++count;
-  }
-  return count;
 }
 
 void ProcessRegistry::save(snapshot::ByteWriter& w) const {
   w.u32(1);  // section version
   w.u64(lru_clock_);
-  std::vector<const ProcessMem*> sorted;
-  sorted.reserve(processes_.size());
-  for (const auto& [pid, process] : processes_) sorted.push_back(&process);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const ProcessMem* a, const ProcessMem* b) { return a->pid < b->pid; });
-  w.u64(sorted.size());
-  for (const ProcessMem* p : sorted) {
+  w.u64(by_pid_.size());
+  for (const ProcessMem* p : by_pid_) {
     w.u32(p->pid);
     w.str(p->name);
     w.i32(p->oom_adj);

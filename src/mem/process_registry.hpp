@@ -20,9 +20,12 @@ namespace mvqoe::mem {
 
 using ProcessId = std::uint32_t;
 
+/// Field order is hot-first: every field a reclaim/victim scan reads sits
+/// in the leading bytes, and the cold std::string/std::function members
+/// (half the struct) are pushed to the tail so scans touch one cache line
+/// per process instead of two.
 struct ProcessMem {
   ProcessId pid = 0;
-  std::string name;
   int oom_adj = OomAdj::kCached;
   /// Resident anonymous (heap) pages.
   Pages anon_resident = 0;
@@ -51,6 +54,8 @@ struct ProcessMem {
   /// allocations live here; ordinary hot working sets do NOT — they are
   /// scanned fruitlessly, which is what degrades reclaim efficiency.
   bool unevictable = false;
+  // --- cold fields below: never read by the hot scans ---
+  std::string name;
   /// Invoked when lmkd kills the process (after its memory is freed).
   std::function<void()> on_kill;
 };
@@ -94,10 +99,15 @@ class ProcessRegistry {
 
   /// Reclaim-order iteration: live processes sorted by (oom_adj desc,
   /// LRU cold-first) — kswapd takes pages from these before warmer ones.
-  std::vector<ProcessMem*> reclaim_order();
+  /// The order is cached and only rebuilt after a mutation that can
+  /// change it (add/remove/touch/set_oom_adj): one reclaim batch calls
+  /// this three times while mutating nothing but page counters, so two
+  /// of the three sorts are free. The reference is invalidated by the
+  /// next mutation.
+  const std::vector<ProcessMem*>& reclaim_order();
 
   std::vector<const ProcessMem*> all() const;
-  std::size_t live_count() const noexcept;
+  std::size_t live_count() const noexcept { return alive_.size(); }
 
   /// Serialize every process sorted by pid — the unordered_map's bucket
   /// layout must not leak into the bytes. on_kill closures are not
@@ -105,7 +115,20 @@ class ProcessRegistry {
   void save(snapshot::ByteWriter& w) const;
 
  private:
+  /// Stable owner: values never move, so ProcessMem pointers handed out
+  /// by find()/reclaim_order() stay valid for the registry's lifetime.
   std::unordered_map<ProcessId, ProcessMem> processes_;
+  /// Dense scan index of live processes (membership order): the hot
+  /// iteration surface for pick_victim/cached_count, replacing sparse
+  /// hash-bucket walks. Order is irrelevant — every consumer either
+  /// counts or resolves ties through the unique lru_seq.
+  std::vector<ProcessMem*> alive_;
+  /// Every entry (dead included) sorted by pid, maintained by sorted
+  /// insert on first registration — save()/all() no longer sort.
+  std::vector<ProcessMem*> by_pid_;
+  /// reclaim_order() cache; rebuilt lazily from SoA-extracted sort keys.
+  std::vector<ProcessMem*> order_cache_;
+  bool order_dirty_ = true;
   std::uint64_t lru_clock_ = 0;
 };
 

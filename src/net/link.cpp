@@ -101,12 +101,15 @@ void Link::repace_active() {
   const sim::Time payload = static_cast<sim::Time>(
       std::ceil(active_.remaining_bytes / bytes_per_usec()));
   const sim::Time duration = std::max<sim::Time>(1, active_.setup_remaining + payload);
-  active_.completion = engine_.schedule(duration, [this] {
-    active_.completion = sim::kInvalidEvent;
-    active_.remaining_bytes = 0.0;
-    active_.setup_remaining = 0;
-    finish_active(true);
-  });
+  active_.completion = engine_.schedule_flat(duration, &Link::on_completion, this);
+}
+
+void Link::on_completion(void* ctx, std::uint64_t) {
+  auto* self = static_cast<Link*>(ctx);
+  self->active_.completion = sim::kInvalidEvent;
+  self->active_.remaining_bytes = 0.0;
+  self->active_.setup_remaining = 0;
+  self->finish_active(true);
 }
 
 void Link::finish_active(bool ok) {
@@ -127,10 +130,13 @@ void Link::finish_active(bool ok) {
 void Link::arm_timeout() {
   if (active_.timeout_remaining <= 0 || active_.timeout != sim::kInvalidEvent) return;
   active_.timeout_armed_at = engine_.now();
-  active_.timeout = engine_.schedule(active_.timeout_remaining, [this] {
-    active_.timeout = sim::kInvalidEvent;
-    finish_active(false);
-  });
+  active_.timeout = engine_.schedule_flat(active_.timeout_remaining, &Link::on_timeout, this);
+}
+
+void Link::on_timeout(void* ctx, std::uint64_t) {
+  auto* self = static_cast<Link*>(ctx);
+  self->active_.timeout = sim::kInvalidEvent;
+  self->finish_active(false);
 }
 
 void Link::suspend_timeout() {

@@ -119,6 +119,10 @@ class Link {
   /// rate. The single source of truth for in-flight pacing.
   void repace_active();
   void finish_active(bool ok);
+  /// Flat-event trampolines (engine hot path): one completion + one
+  /// timeout timer per in-flight transfer.
+  static void on_completion(void* ctx, std::uint64_t);
+  static void on_timeout(void* ctx, std::uint64_t);
   double bytes_per_usec() const noexcept;
 
   sim::Engine& engine_;

@@ -274,14 +274,23 @@ void Scheduler::arm_core_event(std::size_t core_idx) {
       is_slice = true;
     }
   }
-  core.pending_event = engine_.schedule_at(when, [this, core_idx, is_slice] {
-    cores_[core_idx].pending_event = sim::kInvalidEvent;
-    if (is_slice) {
-      slice_expired(core_idx);
-    } else {
-      complete(core_idx);
-    }
-  });
+  // Flat event (engine hot path): core events fire once per timeslice /
+  // burst completion across every core — the single hottest timer in the
+  // simulation. arg packs (core_idx << 1) | is_slice.
+  core.pending_event = engine_.schedule_flat_at(
+      when, &Scheduler::on_core_event, this,
+      (static_cast<std::uint64_t>(core_idx) << 1) | (is_slice ? 1u : 0u));
+}
+
+void Scheduler::on_core_event(void* ctx, std::uint64_t arg) {
+  auto* self = static_cast<Scheduler*>(ctx);
+  const std::size_t core_idx = static_cast<std::size_t>(arg >> 1);
+  self->cores_[core_idx].pending_event = sim::kInvalidEvent;
+  if ((arg & 1u) != 0) {
+    self->slice_expired(core_idx);
+  } else {
+    self->complete(core_idx);
+  }
 }
 
 void Scheduler::dispatch(std::size_t core_idx) {

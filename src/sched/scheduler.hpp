@@ -201,6 +201,8 @@ class Scheduler {
   /// Try to pull a runnable fair thread to the now-idle `core`.
   void steal_for(std::size_t core);
   void arm_core_event(std::size_t core);
+  /// Flat-event trampoline for core timers (arg = core_idx << 1 | is_slice).
+  static void on_core_event(void* ctx, std::uint64_t arg);
   double min_vruntime(const Core& core) const;
 
   void open_preemption(ThreadId victim, ThreadId preemptor);

@@ -7,76 +7,12 @@
 
 namespace mvqoe::sim {
 
-EventId Engine::schedule_at(Time t, Callback fn) {
-  if (t < now_) t = now_;
-  const EventId id = next_seq_;
-  heap_.push_back(Entry{t, next_seq_, id});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++next_seq_;
-  callbacks_.emplace(id, std::move(fn));
-  return id;
-}
-
-EventId Engine::schedule(Time delay, Callback fn) {
-  if (delay < 0) delay = 0;
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-bool Engine::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
-  maybe_compact();
-  return true;
-}
-
-void Engine::maybe_compact() {
-  // A scheduler that parks far-future timers and cancels them long before
-  // they mature would otherwise grow the heap until the clock catches up.
-  if (heap_.size() < kCompactMinEntries || cancelled_.size() * 2 <= heap_.size()) return;
-  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [this](const Entry& e) { return cancelled_.count(e.id) != 0; }),
-              heap_.end());
-  heap_.shrink_to_fit();
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
-  cancelled_.clear();
-}
-
-bool Engine::step() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-    const auto cancelled = cancelled_.find(top.id);
-    if (cancelled != cancelled_.end()) {
-      cancelled_.erase(cancelled);
-      continue;
-    }
-    const auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // defensive; cancel covers this
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = top.time;
-    ++dispatched_;
-    if (top.time == last_dispatch_time_) {
-      ++same_time_run_;
-      if (livelock_limit_ != 0 && same_time_run_ == livelock_limit_ + 1) ++livelock_trips_;
-    } else {
-      last_dispatch_time_ = top.time;
-      same_time_run_ = 1;
-    }
-    fn();
-    return true;
-  }
-  return false;
-}
-
 std::vector<std::pair<Time, std::uint64_t>> Engine::live_events() const {
   std::vector<std::pair<Time, std::uint64_t>> live;
-  live.reserve(heap_.size());
+  live.reserve(live_count_);
+  if (staged_valid_) live.emplace_back(staged_.time, staged_.seq);
   for (const Entry& e : heap_) {
-    if (cancelled_.count(e.id) == 0) live.emplace_back(e.time, e.seq);
+    if (slots_[e.slot].seq == e.seq) live.emplace_back(e.time, e.seq);
   }
   // The heap array's layout depends on insertion/cancellation history;
   // sorting by dispatch order removes that history from the digest.
@@ -109,38 +45,46 @@ void Engine::save(snapshot::ByteWriter& w) const {
 }
 
 bool Engine::check_invariants() const noexcept {
-  if (heap_.size() != callbacks_.size() + cancelled_.size()) return false;
-  for (const EventId id : cancelled_) {
-    if (callbacks_.count(id) != 0) return false;
+  // Every live entry (staged register included) must agree with its slot
+  // on (seq, time), and their count must equal the maintained live
+  // counter. A valid staged entry must itself be live — cancel() clears
+  // it — so a stale one is corruption, not residue.
+  std::size_t live_entries = 0;
+  if (staged_valid_) {
+    if (staged_.slot >= slots_.size()) return false;
+    const Slot& s = slots_[staged_.slot];
+    if (s.seq != staged_.seq || s.time != staged_.time) return false;
+    ++live_entries;
   }
-  return true;
+  for (const Entry& e : heap_) {
+    if (e.slot >= slots_.size()) return false;
+    const Slot& s = slots_[e.slot];
+    if (s.seq != e.seq) continue;  // stale residue awaiting compaction
+    if (s.time != e.time) return false;
+    ++live_entries;
+  }
+  if (live_entries != live_count_) return false;
+  // Occupied slots (seq != 0) must be exactly the live entries, and the
+  // free list must thread through the rest without cycles or repeats.
+  std::size_t occupied = 0;
+  for (const Slot& s : slots_) {
+    if (s.seq != 0) ++occupied;
+  }
+  if (occupied != live_count_) return false;
+  std::size_t free_len = 0;
+  for (std::uint32_t idx = free_head_; idx != kNilSlot; idx = slots_[idx].next_free) {
+    if (idx >= slots_.size()) return false;
+    if (slots_[idx].seq != 0) return false;
+    if (++free_len > slots_.size()) return false;  // cycle
+  }
+  return occupied + free_len == slots_.size();
 }
 
-void Engine::run_until(Time t) {
-  while (!heap_.empty()) {
-    // Skip over cancelled entries without advancing the clock.
-    const Entry top = heap_.front();
-    if (cancelled_.count(top.id) != 0) {
-      std::pop_heap(heap_.begin(), heap_.end(), Later{});
-      heap_.pop_back();
-      cancelled_.erase(top.id);
-      continue;
-    }
-    if (top.time > t) break;
-    step();
-  }
-  if (now_ < t) now_ = t;
-}
-
-void Engine::run() {
-  while (step()) {
-  }
-}
-
-// The chain of scheduled fire() events owns this block via shared_ptr, so
-// the callable keeps living through its own invocation even if the user
-// destroys the PeriodicTask from inside fn (self-destruction), and stop()
-// /start() from inside fn operate on the same pending id the chain uses.
+// Ownership: the task holds `state_`; while a fire is scheduled the chain
+// holds `state->self` (flat events carry no ownership, only the raw
+// pointer). fire() pins a stack copy before doing anything, so stop(),
+// start() and even destruction of the owning task from inside fn operate
+// on a block that provably outlives the call.
 struct PeriodicTask::State {
   State(Engine& eng, Time per, Engine::Callback callback)
       : engine(eng), period(per), fn(std::move(callback)) {}
@@ -148,6 +92,7 @@ struct PeriodicTask::State {
   Time period;
   Engine::Callback fn;
   EventId pending = kInvalidEvent;
+  std::shared_ptr<State> self;  // non-null exactly while a fire is pending
 };
 
 PeriodicTask::PeriodicTask(Engine& engine, Time period, Engine::Callback fn)
@@ -159,21 +104,27 @@ bool PeriodicTask::running() const noexcept { return state_->pending != kInvalid
 
 void PeriodicTask::start() {
   if (state_->pending != kInvalidEvent) return;
-  std::shared_ptr<State> state = state_;
-  state_->pending = state_->engine.schedule(state_->period, [state] { fire(state); });
+  state_->self = state_;
+  state_->pending = state_->engine.schedule_flat(state_->period, &PeriodicTask::fire,
+                                                 state_.get(), 0);
 }
 
 void PeriodicTask::stop() {
   if (state_->pending == kInvalidEvent) return;
   state_->engine.cancel(state_->pending);
   state_->pending = kInvalidEvent;
+  // A fire() frame on the stack keeps the block alive through its call
+  // even after this release.
+  state_->self.reset();
 }
 
-void PeriodicTask::fire(const std::shared_ptr<State>& state) {
-  // Reschedule before running fn so the callback observes running() and
-  // can stop()/restart the chain; fn may also delete the owning task —
-  // `state` on this stack frame keeps the callable alive through the call.
-  state->pending = state->engine.schedule(state->period, [state] { fire(state); });
+void PeriodicTask::fire(void* ctx, std::uint64_t) {
+  // Pin the state for the duration of the callback, then reschedule
+  // *before* running fn so the callback observes running() and can
+  // stop()/restart the chain; fn may also delete the owning task.
+  const std::shared_ptr<State> state = static_cast<State*>(ctx)->self;
+  state->pending = state->engine.schedule_flat(state->period, &PeriodicTask::fire,
+                                               state.get(), 0);
   state->fn();
 }
 

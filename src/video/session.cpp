@@ -223,19 +223,26 @@ void VideoSession::request_segment(int index, Rung rung, std::uint64_t bytes, in
       });
 
   if (config_.recovery.download_watchdog > 0) {
-    const net::TransferId xfer = active_transfer_;
-    watchdog_event_ = engine_.schedule(
-        config_.recovery.download_watchdog, [this, epoch, xfer, index, rung, bytes, attempt] {
-          if (!epoch_ok(epoch) || active_transfer_ != xfer) return;
-          watchdog_event_ = sim::kInvalidEvent;
-          link_.cancel(xfer);
-          active_transfer_ = net::kInvalidTransfer;
-          ++metrics_.download_timeouts;
-          tracer_.instant(trace::InstantKind::DownloadTimeout, engine_.now(), pl_tid_, index);
-          if (!alive() || finished_) return;
-          retry_segment(index, rung, bytes, attempt);
-        });
+    // Flat event (engine hot path): at most one watchdog is pending per
+    // session, so its context lives in a member instead of a closure.
+    watchdog_ctx_ = WatchdogCtx{epoch, active_transfer_, index, rung, bytes, attempt};
+    watchdog_event_ =
+        engine_.schedule_flat(config_.recovery.download_watchdog, &VideoSession::on_watchdog, this);
   }
+}
+
+void VideoSession::on_watchdog(void* ctx, std::uint64_t) {
+  auto* self = static_cast<VideoSession*>(ctx);
+  const WatchdogCtx wd = self->watchdog_ctx_;
+  if (!self->epoch_ok(wd.epoch) || self->active_transfer_ != wd.xfer) return;
+  self->watchdog_event_ = sim::kInvalidEvent;
+  self->link_.cancel(wd.xfer);
+  self->active_transfer_ = net::kInvalidTransfer;
+  ++self->metrics_.download_timeouts;
+  self->tracer_.instant(trace::InstantKind::DownloadTimeout, self->engine_.now(), self->pl_tid_,
+                        wd.index);
+  if (!self->alive() || self->finished_) return;
+  self->retry_segment(wd.index, wd.rung, wd.bytes, wd.attempt);
 }
 
 void VideoSession::retry_segment(int index, Rung rung, std::uint64_t bytes, int attempt) {

@@ -239,6 +239,8 @@ class VideoSession {
   /// breaking frame conservation by one.
   void maybe_finish_playout();
   void finish();
+  /// Flat-event trampoline for the download watchdog (ctx in watchdog_ctx_).
+  static void on_watchdog(void* ctx, std::uint64_t);
   void sample_pss();
   void ui_tick();
   AbrContext make_context() const;
@@ -275,6 +277,17 @@ class VideoSession {
   sim::Time next_segment_pts_ = 0;
   net::TransferId active_transfer_ = net::kInvalidTransfer;
   sim::EventId watchdog_event_ = sim::kInvalidEvent;
+  /// Context for the (single) pending download watchdog, scheduled as a
+  /// flat engine event instead of a per-segment closure.
+  struct WatchdogCtx {
+    int epoch = 0;
+    net::TransferId xfer = net::kInvalidTransfer;
+    int index = 0;
+    Rung rung{};
+    std::uint64_t bytes = 0;
+    int attempt = 0;
+  };
+  WatchdogCtx watchdog_ctx_{};
 
   int epoch_ = 0;
   /// Wall time of pts_origin_'s presentation deadline; a frame at `pts`

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "snapshot/digest.hpp"
 
 namespace mvqoe::sim {
 namespace {
@@ -412,6 +417,387 @@ TEST(PeriodicTask, SelfDestructionFromCallbackIsSafe) {
   EXPECT_EQ(fires, 1);
   EXPECT_EQ(task, nullptr);
   // The destructor cancelled the rescheduled fire: nothing left pending.
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+
+// ---------------------------------------------------------------------------
+// run_until contract (regression pin)
+// ---------------------------------------------------------------------------
+
+TEST(Engine, RunUntilLandsClockExactlyOnTarget) {
+  // Pinned semantics: run_until(t) always leaves the clock at exactly t —
+  // whether the last event fired before t, the queue drained early, or no
+  // event was eligible at all. (The header once claimed the clock stopped
+  // at the last event time; the implemented always-advance behavior is
+  // what every idle-world caller depends on.)
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(sec(1), [&] { ++fired; });
+  engine.schedule_at(sec(7), [&] { ++fired; });
+
+  engine.run_until(sec(3));  // one event behind t, one ahead
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), sec(3));
+  EXPECT_EQ(engine.pending_events(), 1u);
+
+  engine.run_until(sec(5));  // nothing eligible: clock still advances
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), sec(5));
+
+  engine.run_until(sec(7));  // boundary-inclusive dispatch
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), sec(7));
+
+  engine.run_until(sec(10));  // empty queue: clock lands on t regardless
+  EXPECT_EQ(engine.now(), sec(10));
+}
+
+// ---------------------------------------------------------------------------
+// Event arena: slot reuse, generation tags, bounded growth
+// ---------------------------------------------------------------------------
+
+TEST(EngineArena, StaleCancelAfterSlotReuseIsNoOp) {
+  Engine engine;
+  bool b_fired = false;
+  const EventId a = engine.schedule_at(sec(1), [] {});
+  ASSERT_TRUE(engine.cancel(a));
+  // The freed slot is recycled immediately: same arena footprint.
+  const EventId b = engine.schedule_at(sec(2), [&] { b_fired = true; });
+  ASSERT_EQ(engine.slot_capacity(), 1u) << "cancel must recycle the slot";
+  ASSERT_NE(a, b) << "generation tag must distinguish tenants of one slot";
+
+  // Cancelling with the stale id is a harmless no-op; the new tenant
+  // stays pending and fires.
+  EXPECT_FALSE(engine.cancel(a));
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_TRUE(engine.check_invariants());
+  engine.run();
+  EXPECT_TRUE(b_fired);
+  EXPECT_FALSE(engine.cancel(a));
+  EXPECT_FALSE(engine.cancel(b));
+}
+
+TEST(EngineArena, SteadyStateLoopHoldsOneSlot) {
+  // A self-rescheduling loop — the shape of every periodic sampler and
+  // timeslice chain — must cycle through a single arena slot forever.
+  Engine engine;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 10000) engine.schedule(msec(1), tick);
+  };
+  engine.schedule(msec(1), tick);
+  engine.run();
+  EXPECT_EQ(fires, 10000);
+  EXPECT_EQ(engine.slot_capacity(), 1u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(EngineArena, SlotCapacityTracksLiveHighWater) {
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(engine.schedule_at(sec(i + 1), [] {}));
+  EXPECT_EQ(engine.slot_capacity(), 100u);
+  for (const EventId id : ids) EXPECT_TRUE(engine.cancel(id));
+  // Re-scheduling reuses the freed slots; the arena does not grow.
+  for (int i = 0; i < 100; ++i) engine.schedule_at(sec(i + 1), [] {});
+  EXPECT_EQ(engine.slot_capacity(), 100u);
+  EXPECT_EQ(engine.pending_events(), 100u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(EngineArena, GenerationReuseStorm) {
+  // Schedule/cancel storm over a small arena: every cancelled id is
+  // retried after its slot has been reused, and must stay a no-op.
+  Engine engine;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next_rand = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<EventId> stale;
+  std::vector<EventId> live;
+  for (int round = 0; round < 2000; ++round) {
+    live.push_back(engine.schedule_at(sec(100) + static_cast<Time>(next_rand() % 1000), [] {}));
+    if (live.size() > 8) {
+      const std::size_t pick = next_rand() % live.size();
+      ASSERT_TRUE(engine.cancel(live[pick]));
+      stale.push_back(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (!stale.empty() && round % 7 == 0) {
+      // Retired ids whose slots have long been recycled: all no-ops.
+      ASSERT_FALSE(engine.cancel(stale[next_rand() % stale.size()]));
+    }
+    ASSERT_EQ(engine.pending_events(), live.size());
+  }
+  EXPECT_TRUE(engine.check_invariants());
+  EXPECT_LE(engine.slot_capacity(), 16u) << "arena must track the live high-water, not the storm";
+  for (const EventId id : stale) EXPECT_FALSE(engine.cancel(id));
+  engine.run();
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// Compaction hysteresis: amortized-O(1) cancels
+// ---------------------------------------------------------------------------
+
+TEST(EngineArena, CancelStormCompactionIsAmortizedConstant) {
+  // A workload hovering at the compaction threshold used to pay a full
+  // O(n) rebuild (plus a realloc from shrink_to_fit) on nearly every
+  // cancel. Each compaction now removes more than half the heap and
+  // leaves zero stale residue, so the total entries scanned across all
+  // rebuilds is linearly bounded by the number of cancels.
+  Engine engine;
+  std::uint64_t cancels = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::vector<EventId> batch;
+    for (int i = 0; i < 40; ++i) batch.push_back(engine.schedule_at(sec(1000) + round, [] {}));
+    for (const EventId id : batch) {
+      ASSERT_TRUE(engine.cancel(id));
+      ++cancels;
+    }
+  }
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_GT(engine.compactions(), 0u);
+  // Amortized-O(1): scanned work is a small constant per cancel. The
+  // trigger ratio guarantees <= ~2 entries scanned per cancel; 4 leaves
+  // headroom for the kCompactMinEntries floor.
+  EXPECT_LE(engine.compaction_scanned(), 4 * cancels + 256);
+  // And the storm never held more than the documented residue bound.
+  EXPECT_LT(engine.queued_entries(), 2 * engine.pending_events() + 64);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(EngineArena, CompactionCountersExposedAndMonotone) {
+  Engine engine;
+  EXPECT_EQ(engine.compactions(), 0u);
+  EXPECT_EQ(engine.compaction_scanned(), 0u);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(engine.schedule_at(sec(100), [] {}));
+  for (const EventId id : ids) engine.cancel(id);
+  EXPECT_GT(engine.compactions(), 0u);
+  EXPECT_GE(engine.compaction_scanned(), engine.compactions());
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// pending_events underflow guard
+// ---------------------------------------------------------------------------
+
+TEST(EngineArena, PendingEventsIsMaintainedNotDerived) {
+  // pending_events() was heap_size - cancelled_size in size_t: a
+  // bookkeeping bug underflowed it to ~2^64. It is now a maintained
+  // counter cross-checked by check_invariants(), so it can never exceed
+  // the entries actually held, cancelled residue included.
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 300; ++i) ids.push_back(engine.schedule_at(sec(1 + i % 7), [] {}));
+  for (std::size_t i = 0; i < ids.size(); i += 2) engine.cancel(ids[i]);
+  EXPECT_LE(engine.pending_events(), engine.queued_entries());
+  EXPECT_EQ(engine.pending_events(), engine.live_events().size());
+  EXPECT_TRUE(engine.check_invariants());
+  engine.run();
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_LE(engine.pending_events(), engine.queued_entries());
+  // Double-cancel (the classic way to corrupt derived bookkeeping) stays
+  // a no-op: counters and invariants hold.
+  for (const EventId id : ids) EXPECT_FALSE(engine.cancel(id));
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// Flat events: dispatch parity with closures
+// ---------------------------------------------------------------------------
+
+namespace flat_helpers {
+struct Recorder {
+  std::vector<std::uint64_t> seen;
+};
+void record(void* ctx, std::uint64_t arg) {
+  static_cast<Recorder*>(ctx)->seen.push_back(arg);
+}
+}  // namespace flat_helpers
+
+TEST(EngineFlat, FlatAndClosureEventsShareOneFifoOrder) {
+  Engine engine;
+  flat_helpers::Recorder rec;
+  std::vector<std::uint64_t> order;
+  engine.schedule_flat_at(sec(1), &flat_helpers::record, &rec, 1);
+  engine.schedule_at(sec(1), [&] { order.push_back(2); });
+  engine.schedule_flat_at(sec(1), &flat_helpers::record, &rec, 3);
+  engine.schedule_at(sec(1), [&] { order.push_back(4); });
+  engine.run();
+  // Both flavours draw from the same seq counter: strict FIFO among
+  // same-time events regardless of how they were scheduled.
+  ASSERT_EQ(rec.seen, (std::vector<std::uint64_t>{1, 3}));
+  ASSERT_EQ(order, (std::vector<std::uint64_t>{2, 4}));
+  EXPECT_EQ(engine.dispatched(), 4u);
+}
+
+TEST(EngineFlat, FlatEventsCancelAndCarryArgs) {
+  Engine engine;
+  flat_helpers::Recorder rec;
+  const EventId keep = engine.schedule_flat(sec(1), &flat_helpers::record, &rec, 0xdeadbeefull);
+  const EventId drop = engine.schedule_flat(sec(2), &flat_helpers::record, &rec, 7);
+  EXPECT_TRUE(engine.cancel(drop));
+  EXPECT_FALSE(engine.cancel(drop));
+  engine.run();
+  ASSERT_EQ(rec.seen, (std::vector<std::uint64_t>{0xdeadbeefull}));
+  EXPECT_FALSE(engine.cancel(keep));
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(EngineFlat, DigestBlindToSchedulingFlavour) {
+  // Two engines scheduling the same (time, seq) stream — one flat, one
+  // closures — are indistinguishable to digest(), live_events() and
+  // save(): flatness is an allocation detail, not replayable state.
+  Engine flat_engine;
+  Engine closure_engine;
+  flat_helpers::Recorder rec;
+  for (int i = 0; i < 20; ++i) {
+    flat_engine.schedule_flat_at(sec(i % 5), &flat_helpers::record, &rec,
+                                 static_cast<std::uint64_t>(i));
+    closure_engine.schedule_at(sec(i % 5), [] {});
+  }
+  EXPECT_EQ(flat_engine.digest(), closure_engine.digest());
+  EXPECT_EQ(flat_engine.live_events(), closure_engine.live_events());
+  flat_engine.run_until(sec(2));
+  closure_engine.run_until(sec(2));
+  EXPECT_EQ(flat_engine.digest(), closure_engine.digest());
+}
+
+// ---------------------------------------------------------------------------
+// Differential check against a reference model
+// ---------------------------------------------------------------------------
+
+// Executable spec of the engine's serializable behavior: an ordered map
+// of (time, seq) with eager erase — no heap, no arena, no lazy residue.
+// The arena engine must be observationally identical under any
+// schedule/cancel/run interleaving.
+class ReferenceEngine {
+ public:
+  std::uint64_t schedule_at(Time t, Time* now) {
+    if (t < now_) t = now_;
+    const std::uint64_t seq = next_seq_++;
+    live_.emplace(std::make_pair(t, seq), 0);
+    if (now != nullptr) *now = now_;
+    return seq;
+  }
+  bool cancel(std::uint64_t seq) {
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (it->first.second == seq) {
+        live_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  void run_until(Time t) {
+    while (!live_.empty() && live_.begin()->first.first <= t) {
+      now_ = live_.begin()->first.first;
+      ++dispatched_;
+      live_.erase(live_.begin());
+    }
+    if (now_ < t) now_ = t;
+  }
+  std::vector<std::pair<Time, std::uint64_t>> live_events() const {
+    std::vector<std::pair<Time, std::uint64_t>> out;
+    for (const auto& [key, value] : live_) out.push_back(key);
+    return out;
+  }
+  std::uint64_t digest() const {
+    snapshot::StateHash h;
+    h.mix(static_cast<std::uint64_t>(now_));
+    h.mix(next_seq_);
+    for (const auto& [key, value] : live_) {
+      h.mix(static_cast<std::uint64_t>(key.first));
+      h.mix(key.second);
+    }
+    return h.value();
+  }
+  Time now() const { return now_; }
+  std::size_t pending() const { return live_.size(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::map<std::pair<Time, std::uint64_t>, int> live_;
+};
+
+TEST(EngineArena, DifferentialDigestAgainstReferenceModel) {
+  Engine engine;
+  ReferenceEngine ref;
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next_rand = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  // Parallel id spaces: engine EventIds alongside the reference seqs.
+  std::vector<std::pair<EventId, std::uint64_t>> live;
+  std::vector<std::pair<EventId, std::uint64_t>> retired;
+  for (int round = 0; round < 3000; ++round) {
+    const std::uint64_t op = next_rand() % 10;
+    if (op < 5) {  // schedule (no-op payload: only (time, seq) is state)
+      const Time t = engine.now() + static_cast<Time>(next_rand() % sec(2));
+      const EventId id = engine.schedule_at(t, [] {});
+      const std::uint64_t seq = ref.schedule_at(t, nullptr);
+      ASSERT_EQ(engine.seq_of(id), seq) << "seq streams diverged";
+      live.emplace_back(id, seq);
+    } else if (op < 7 && !live.empty()) {  // cancel a live event
+      const std::size_t pick = next_rand() % live.size();
+      ASSERT_TRUE(engine.cancel(live[pick].first));
+      ASSERT_TRUE(ref.cancel(live[pick].second));
+      retired.push_back(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (op < 8 && !retired.empty()) {  // stale cancel: both no-op
+      const auto& dead = retired[next_rand() % retired.size()];
+      ASSERT_FALSE(engine.cancel(dead.first));
+      ASSERT_FALSE(ref.cancel(dead.second));
+    } else {  // advance time, dispatching everything due
+      const Time t = engine.now() + static_cast<Time>(next_rand() % sec(1));
+      engine.run_until(t);
+      ref.run_until(t);
+      const Time now = engine.now();
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&engine](const auto& entry) {
+                                  return engine.seq_of(entry.first) == 0;
+                                }),
+                 live.end());
+      ASSERT_EQ(now, ref.now());
+    }
+    ASSERT_EQ(engine.pending_events(), ref.pending());
+    ASSERT_EQ(engine.dispatched(), ref.dispatched());
+    if (round % 16 == 0) {
+      ASSERT_EQ(engine.live_events(), ref.live_events());
+      ASSERT_EQ(engine.digest(), ref.digest());
+      ASSERT_TRUE(engine.check_invariants());
+    }
+  }
+  EXPECT_EQ(engine.live_events(), ref.live_events());
+  EXPECT_EQ(engine.digest(), ref.digest());
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(PeriodicTask, SteadyStateAllocatesNoNewSlots) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, msec(16), [&] { ++fires; });  // vsync-shaped
+  task.start();
+  engine.run_until(sec(60));
+  EXPECT_GT(fires, 3000);
+  // The periodic chain cycles through a single arena slot.
+  EXPECT_EQ(engine.slot_capacity(), 1u);
+  task.stop();
   EXPECT_EQ(engine.pending_events(), 0u);
   EXPECT_TRUE(engine.check_invariants());
 }
