@@ -96,6 +96,12 @@ CampaignResult run_campaign(std::uint64_t total_units, const UnitFn& fn,
     result.shards = std::move(state.shards);
   }
 
+  std::uint64_t units_landed = result.units_from_checkpoint;
+  const auto report_progress = [&] {
+    if (opts.progress) opts.progress(units_landed, total_units);
+  };
+  if (opts.resume && units_landed > 0) report_progress();
+
   // Partition the missing units into contiguous shards.
   std::vector<Shard> shards;
   {
@@ -178,6 +184,8 @@ CampaignResult run_campaign(std::uint64_t total_units, const UnitFn& fn,
     if (!result.completed[unit]) {
       result.payloads[unit] = std::move(payload);
       result.completed[unit] = true;
+      ++units_landed;
+      report_progress();
     }
     const auto it = std::find(shard.pending.begin(), shard.pending.end(), unit);
     if (it != shard.pending.end()) shard.pending.erase(it);
@@ -445,6 +453,8 @@ CampaignResult run_campaign(std::uint64_t total_units, const UnitFn& fn,
           result.payloads[unit] = fn(unit);
           result.completed[unit] = true;
           shard.pending.erase(shard.pending.begin());
+          ++units_landed;
+          report_progress();
         }
       } catch (const std::exception& e) {
         shard.last_error = std::string("unit threw: ") + e.what();

@@ -77,6 +77,11 @@ struct CampaignOptions {
   /// kills its workers, flushes the checkpoint and returns with
   /// interrupted == true (see campaign/signal.hpp).
   const volatile std::sig_atomic_t* interrupt = nullptr;
+  /// Invoked in the coordinator process as (units_done, total_units)
+  /// each time a unit's payload lands — including units restored from a
+  /// resumed checkpoint (reported once, up front). Never called from
+  /// worker processes; keep it cheap, it runs on the supervision loop.
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
   TestHooks hooks;
 };
 

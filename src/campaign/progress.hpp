@@ -1,0 +1,94 @@
+// Throttled stderr progress meter for long-running tools.
+//
+// Paints one line in place:
+//   <label>: 12345/100000 (12.3%)  8456/s  ETA 0:10
+// Repaints at most every 200 ms (plus always on the final update) so a
+// million-unit campaign does not melt the terminal, and rates are
+// measured from the first observed update — a resume reports its
+// checkpointed units once, up front, and that bulk must not inflate the
+// units/sec estimate for the work that actually remains.
+//
+// Display only: the meter never feeds back into execution, so enabling
+// --progress cannot perturb digests or payload bytes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+namespace mvqoe::campaign {
+
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(const char* label, std::FILE* out = stderr) : label_(label), out_(out) {}
+
+  /// Report `done` of `total` units. Safe to call at any frequency.
+  void update(std::uint64_t done, std::uint64_t total) {
+    const auto now = Clock::now();
+    if (!started_) {
+      started_ = true;
+      base_done_ = done;
+      base_time_ = now;
+    }
+    const bool final = total > 0 && done >= total;
+    if (!final && painted_ &&
+        now - last_paint_ < std::chrono::milliseconds(200)) {
+      return;
+    }
+    last_paint_ = now;
+    painted_ = true;
+
+    const double pct = total > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total)
+                                 : 0.0;
+    const double elapsed = std::chrono::duration<double>(now - base_time_).count();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done - base_done_) / elapsed : 0.0;
+    std::fprintf(out_, "\r%s: %llu/%llu (%.1f%%)", label_,
+                 static_cast<unsigned long long>(done), static_cast<unsigned long long>(total),
+                 pct);
+    if (rate > 0.0) {
+      std::fprintf(out_, "  %.0f/s  ETA ", rate);
+      print_duration(static_cast<double>(total - done) / rate);
+    }
+    std::fprintf(out_, "    ");
+    std::fflush(out_);
+  }
+
+  /// Terminate the in-place line (no-op if nothing was painted).
+  void finish() {
+    if (!painted_) return;
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    painted_ = false;
+  }
+
+  ~ProgressMeter() { finish(); }
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void print_duration(double seconds) {
+    const auto total_s = static_cast<std::uint64_t>(seconds + 0.5);
+    if (total_s >= 3600) {
+      std::fprintf(out_, "%llu:%02llu:%02llu", static_cast<unsigned long long>(total_s / 3600),
+                   static_cast<unsigned long long>((total_s / 60) % 60),
+                   static_cast<unsigned long long>(total_s % 60));
+    } else {
+      std::fprintf(out_, "%llu:%02llu", static_cast<unsigned long long>(total_s / 60),
+                   static_cast<unsigned long long>(total_s % 60));
+    }
+  }
+
+  const char* label_;
+  std::FILE* out_;
+  bool started_ = false;
+  bool painted_ = false;
+  std::uint64_t base_done_ = 0;
+  Clock::time_point base_time_{};
+  Clock::time_point last_paint_{};
+};
+
+}  // namespace mvqoe::campaign

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,6 +55,10 @@ struct FuzzOptions {
   /// the seeded failure-injection demo.
   int perturb_run = -1;
   sim::Time perturb_offset = sim::sec(2);
+  /// Display-only (runs_done, runs_total) hook, called as runs finish
+  /// (any worker thread, serialized by the harness). Not part of the
+  /// campaign config encoding — resume never sees it.
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
 };
 
 struct FuzzFailure {

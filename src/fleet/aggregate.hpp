@@ -1,0 +1,90 @@
+// Streaming mergeable fleet aggregate (DESIGN.md §15).
+//
+// The whole point of the fleet subsystem: per-run JSON accumulation
+// keeps O(devices) state, which dies at 10^6 devices. A FleetAggregate
+// is instead a fixed-size reduction — histograms, quantile sketches and
+// Welford accumulators for every Figs 2–6 signal — folded per device
+// and merged per shard, so peak memory is O(shard) no matter the fleet.
+//
+// Merge-order contract: histogram and accumulator merges are exact, but
+// the quantile sketches are only deterministic, not order-independent.
+// Every path to a full-fleet aggregate therefore folds devices in
+// ascending index order within a shard and merges shard partials in
+// ascending unit order — serial, --jobs, --procs and kill-and-resume
+// all reduce the identical sequence, which is what makes the aggregate
+// digest and every report byte-identical across them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "fleet/device_session.hpp"
+#include "fleet/spec.hpp"
+#include "snapshot/blob.hpp"
+#include "stats/histogram.hpp"
+#include "stats/sketch.hpp"
+#include "stats/summary.hpp"
+
+namespace mvqoe::fleet {
+
+/// The FLEE section of an MVQS blob: a serialized fleet aggregate, as
+/// written by `mvqoe_fleet run --save` and read back by `report`.
+inline constexpr std::uint32_t kFleetTag = snapshot::tag("FLEE");
+/// Companion section: the fleet config the aggregate was reduced under,
+/// so `mvqoe_fleet report` can rebuild the exact report JSON.
+inline constexpr std::uint32_t kFleetConfigTag = snapshot::tag("FLCF");
+
+struct FleetAggregate {
+  FleetAggregate();
+
+  /// Fold one device-session's observations, in capture order.
+  void fold(const DeviceObservations& obs, const FleetSpec& spec);
+  /// Merge a shard partial. Exact for histograms/accumulators; sketches
+  /// require the deterministic ascending merge order (see header note).
+  void merge(const FleetAggregate& other);
+
+  void save(snapshot::ByteWriter& w) const;
+  static FleetAggregate load(snapshot::ByteReader& r);
+  /// Canonical byte encoding — the shard payload — and its digest.
+  std::string encode() const;
+  static FleetAggregate decode(std::string_view bytes);
+  std::uint64_t digest() const;
+
+  void save_section(snapshot::Snapshot& blob) const;
+  static FleetAggregate load_section(const snapshot::Snapshot& blob);
+
+  std::uint64_t device_count = 0;
+  std::uint64_t session_seconds = 0;
+  std::array<std::uint64_t, kLevels> signals{};
+  std::array<std::uint64_t, kLevels> seconds_in_level{};
+  std::array<std::array<std::uint64_t, kLevels>, kLevels> transitions{};
+
+  /// Fig 2: per-sample RAM utilization distribution + quantiles.
+  stats::Histogram utilization;
+  stats::QuantileSketch utilization_quantiles;
+  /// Fig 3: per-device non-Normal signals per interactive hour.
+  stats::Histogram signals_per_hour;
+  stats::Accumulator signals_rate;
+  /// Fig 4: per-device fraction of session time outside Normal.
+  stats::Histogram not_normal_fraction;
+  /// Fig 5: available memory (MB) sampled while in each state.
+  std::array<stats::Histogram, kLevels> available_mb;
+  std::array<stats::Accumulator, kLevels> available_acc;
+  /// Fig 6: dwell-time quantiles per from-state.
+  std::array<stats::QuantileSketch, kLevels> dwell;
+};
+
+/// Figs 2–6 report JSON for an aggregate — a pure function of
+/// (spec, aggregate), so identical aggregates render identical bytes.
+std::string fleet_report_json(const FleetSpec& spec, const FleetAggregate& aggregate);
+
+/// Bundle (config, aggregate) as one MVQS blob (FLCF + FLEE sections)
+/// and read it back; load throws when either section is missing or
+/// malformed.
+snapshot::Snapshot save_fleet_blob(const FleetSpec& spec, const FleetAggregate& aggregate);
+std::pair<FleetSpec, FleetAggregate> load_fleet_blob(const snapshot::Snapshot& blob);
+
+}  // namespace mvqoe::fleet

@@ -1,0 +1,328 @@
+#include "fleet/device_session.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "proc/app_catalog.hpp"
+#include "runner/ipc.hpp"
+#include "stats/rng.hpp"
+#include "study/population.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define MVQOE_FLEET_FORK 1
+#else
+#define MVQOE_FLEET_FORK 0
+#endif
+
+namespace mvqoe::fleet {
+
+void encode_observations(snapshot::ByteWriter& w, const DeviceObservations& obs) {
+  w.u32(obs.family);
+  w.u32(obs.cohort);
+  for (const std::uint64_t s : obs.signals) w.u64(s);
+  for (const std::uint32_t s : obs.seconds_in_level) w.u32(s);
+  for (const auto& row : obs.transitions) {
+    for (const std::uint32_t t : row) w.u32(t);
+  }
+  w.u32(static_cast<std::uint32_t>(obs.dwell.size()));
+  for (const auto& [from, seconds] : obs.dwell) {
+    w.u8(from);
+    w.f64(seconds);
+  }
+  w.u32(static_cast<std::uint32_t>(obs.util_samples.size()));
+  for (const double u : obs.util_samples) w.f64(u);
+  w.u32(static_cast<std::uint32_t>(obs.avail_samples.size()));
+  for (const auto& [level, mb] : obs.avail_samples) {
+    w.u8(level);
+    w.f64(mb);
+  }
+}
+
+DeviceObservations decode_observations(snapshot::ByteReader& r) {
+  DeviceObservations obs;
+  obs.family = r.u32();
+  obs.cohort = r.u32();
+  for (std::uint64_t& s : obs.signals) s = r.u64();
+  for (std::uint32_t& s : obs.seconds_in_level) s = r.u32();
+  for (auto& row : obs.transitions) {
+    for (std::uint32_t& t : row) t = r.u32();
+  }
+  const std::uint32_t dwell_count = r.u32();
+  obs.dwell.reserve(dwell_count);
+  for (std::uint32_t i = 0; i < dwell_count; ++i) {
+    const std::uint8_t from = r.u8();
+    if (from >= kLevels) throw std::runtime_error("fleet: dwell level byte out of range");
+    const double seconds = r.f64();
+    obs.dwell.emplace_back(from, seconds);
+  }
+  const std::uint32_t util_count = r.u32();
+  obs.util_samples.reserve(util_count);
+  for (std::uint32_t i = 0; i < util_count; ++i) obs.util_samples.push_back(r.f64());
+  const std::uint32_t avail_count = r.u32();
+  obs.avail_samples.reserve(avail_count);
+  for (std::uint32_t i = 0; i < avail_count; ++i) {
+    const std::uint8_t level = r.u8();
+    if (level >= kLevels) throw std::runtime_error("fleet: avail level byte out of range");
+    const double mb = r.f64();
+    obs.avail_samples.emplace_back(level, mb);
+  }
+  return obs;
+}
+
+FleetWorld::FleetWorld(const core::DeviceProfile& profile)
+    : engine(), memory(engine, profile.memory), am(memory) {}
+
+namespace {
+
+/// Streaming apps the fleet usage model can foreground; same footprints
+/// as the study's media set (study/device_sim) so fleet pressure
+/// dynamics stay comparable to the §3 results.
+const std::vector<proc::AppSpec>& media_apps() {
+  using mem::pages_from_mb;
+  static const std::vector<proc::AppSpec> apps = {
+      {"com.youtube", pages_from_mb(185), pages_from_mb(55), pages_from_mb(3), false},
+      {"com.netflix", pages_from_mb(170), pages_from_mb(50), pages_from_mb(2), false},
+      {"com.spotify.play", pages_from_mb(110), pages_from_mb(35), pages_from_mb(1) / 2, false},
+  };
+  return apps;
+}
+
+const study::FleetFamily& family_at(std::uint32_t family) {
+  const auto& families = study::fleet_families();
+  if (family >= families.size()) throw std::runtime_error("fleet: family index out of range");
+  return families[family];
+}
+
+}  // namespace
+
+void prepare_world(FleetWorld& world, std::uint32_t family, std::uint32_t cohort,
+                   const FleetSpec& spec) {
+  const study::FleetFamily& fam = family_at(family);
+  const core::DeviceProfile profile = fam.profile();
+  world.am.boot(profile.system_scale, profile.baseline_cached);
+  world.am.enable_respawn(world.engine, profile.baseline_cached);
+
+  stats::Rng rng(fleet_world_seed(spec.seed, family, cohort));
+  const auto& pool = proc::top_free_apps();
+  const int preload = cohort_preload_apps(cohort, fam.ram_mb);
+  for (int i = 0; i < preload; ++i) {
+    proc::AppSpec app = pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    app.name += ".preload" + std::to_string(i);
+    world.am.add_cached(app);
+  }
+  world.engine.run_until(world.engine.now() + sim::sec(spec.warmup_s));
+}
+
+DeviceObservations drive_session(FleetWorld& world, const FleetDevice& device,
+                                 const FleetSpec& spec) {
+  DeviceObservations obs;
+  obs.family = device.family;
+  obs.cohort = device.cohort;
+
+  sim::Engine& engine = world.engine;
+  mem::MemoryManager& memory = world.memory;
+  proc::ActivityManager& am = world.am;
+
+  stats::Rng rng(device.session_seed);
+  memory.subscribe_trim([&obs](mem::PressureLevel level) {
+    ++obs.signals[static_cast<std::size_t>(level)];
+  });
+
+  std::unordered_map<proc::ProcessId, proc::AppSpec> user_apps;
+  std::vector<proc::ProcessId> open_order;
+
+  const study::UserProfile& user = device.user;
+  const double action_prob = user.app_switches_per_minute / 60.0;
+
+  auto pick_app = [&]() -> proc::AppSpec {
+    // Activity ratings weight the choice, video streaming first — the
+    // same mix as the study's per-device usage model.
+    const double video_w = static_cast<double>(user.rating_video);
+    const double music_w = static_cast<double>(user.rating_music) * 0.5;
+    const double game_w = static_cast<double>(user.rating_games) * 0.4;
+    const double social_w = 4.0;
+    const std::size_t kind = rng.weighted_index({video_w, music_w, game_w, social_w});
+    switch (kind) {
+      case 0: return media_apps()[static_cast<std::size_t>(rng.uniform_int(0, 1))];
+      case 1: return media_apps()[2];
+      case 2: {
+        const auto& games = proc::game_apps();
+        return games[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(games.size()) - 1))];
+      }
+      default: {
+        const auto& apps = proc::top_free_apps();
+        return apps[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(apps.size()) - 1))];
+      }
+    }
+  };
+
+  auto cleanup_dead = [&] {
+    open_order.erase(std::remove_if(open_order.begin(), open_order.end(),
+                                    [&](proc::ProcessId pid) {
+                                      if (memory.registry().alive(pid)) return false;
+                                      user_apps.erase(pid);
+                                      return true;
+                                    }),
+                     open_order.end());
+  };
+
+  mem::PressureLevel previous_level = memory.level();
+  sim::Time state_entered = engine.now();
+
+  for (int second = 0; second < spec.session_s; ++second) {
+    engine.run_until(engine.now() + sim::sec(1));
+    cleanup_dead();
+
+    if (rng.bernoulli(action_prob)) {
+      const double action = rng.uniform();
+      if (action < 0.45 || open_order.empty()) {
+        const proc::AppSpec app = pick_app();
+        const proc::ProcessId pid = am.launch(app);
+        user_apps[pid] = app;
+        open_order.push_back(pid);
+      } else if (action < 0.85) {
+        const auto index = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(open_order.size()) - 1));
+        am.bring_to_foreground(open_order[index]);
+      } else {
+        am.close(open_order.front());
+        user_apps.erase(open_order.front());
+        open_order.erase(open_order.begin());
+      }
+      while (static_cast<int>(open_order.size()) > user.max_open_apps) {
+        am.close(open_order.front());
+        user_apps.erase(open_order.front());
+        open_order.erase(open_order.begin());
+      }
+    }
+
+    // Foreground app grows (feeds, buffers).
+    const proc::ProcessId foreground = am.foreground();
+    if (foreground != 0) {
+      const auto it = user_apps.find(foreground);
+      if (it != user_apps.end() && it->second.growth_pages_per_sec > 0) {
+        memory.alloc_anon(foreground, it->second.growth_pages_per_sec, 0, nullptr);
+      }
+    }
+
+    // Level dwell/transitions every second; heavyweight samples gated.
+    const auto level = memory.level();
+    const auto level_index = static_cast<std::size_t>(level);
+    obs.seconds_in_level[level_index] += 1;
+    if (level != previous_level) {
+      const auto from = static_cast<std::size_t>(previous_level);
+      obs.transitions[from][level_index] += 1;
+      obs.dwell.emplace_back(static_cast<std::uint8_t>(from),
+                             sim::to_seconds(engine.now() - state_entered));
+      previous_level = level;
+      state_entered = engine.now();
+    }
+    if (second % spec.sample_period_s == 0) {
+      obs.util_samples.push_back(memory.utilization());
+      obs.avail_samples.emplace_back(static_cast<std::uint8_t>(level),
+                                     mem::mb_from_pages(memory.available_pages()));
+    }
+  }
+  return obs;
+}
+
+namespace {
+
+DeviceObservations run_device_cold(const FleetDevice& device, const FleetSpec& spec) {
+  FleetWorld world(family_at(device.family).profile());
+  prepare_world(world, device.family, device.cohort, spec);
+  return drive_session(world, device, spec);
+}
+
+#if MVQOE_FLEET_FORK
+
+/// Fork one CoW child per device of a prepared (family, cohort)
+/// template. Children run sequentially — the fleet's parallelism axis
+/// is shards, not devices — and a child that dies before reporting
+/// fails the whole shard so the campaign retry machinery re-runs it.
+DeviceObservations run_device_forked(FleetWorld& world, const FleetDevice& device,
+                                     const FleetSpec& spec) {
+  int fds[2];
+  if (::pipe(fds) != 0) throw std::runtime_error("fleet: pipe() failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error("fleet: fork() failed");
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    snapshot::ByteWriter w;
+    encode_observations(w, drive_session(world, device, spec));
+    runner::write_all(fds[1], w.view());
+    ::close(fds[1]);
+    ::_exit(0);  // no destructors/atexit — the child is a throwaway world
+  }
+  ::close(fds[1]);
+  const std::string payload = runner::read_all(fds[0]);
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 || payload.empty()) {
+    throw std::runtime_error("fleet: warm-start child died before reporting device " +
+                             std::to_string(device.index));
+  }
+  snapshot::ByteReader r(payload);
+  DeviceObservations obs = decode_observations(r);
+  if (!r.done()) throw std::runtime_error("fleet: trailing bytes after device observations");
+  return obs;
+}
+
+#endif  // MVQOE_FLEET_FORK
+
+}  // namespace
+
+std::vector<DeviceObservations> run_shard_observations(const FleetSpec& spec, std::uint64_t unit,
+                                                       bool warm) {
+  const std::uint64_t first = unit * spec.shard_size;
+  if (first >= spec.devices) throw std::invalid_argument("fleet: unit past the fleet");
+  const std::uint64_t last = std::min(first + spec.shard_size, spec.devices);
+
+  std::vector<FleetDevice> devices;
+  devices.reserve(static_cast<std::size_t>(last - first));
+  for (std::uint64_t d = first; d < last; ++d) {
+    devices.push_back(sample_fleet_device(d, spec.seed));
+  }
+
+  std::vector<DeviceObservations> observations(devices.size());
+#if MVQOE_FLEET_FORK
+  if (warm && runner::fork_supported()) {
+    // One prepared template per (family, cohort) present in the shard;
+    // devices grouped under it, each forked CoW. Results land in slot
+    // [device - first] so the fold order stays ascending-device no
+    // matter how the groups interleave.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      groups[{devices[i].family, devices[i].cohort}].push_back(i);
+    }
+    for (const auto& [key, slots] : groups) {
+      FleetWorld world(family_at(key.first).profile());
+      prepare_world(world, key.first, key.second, spec);
+      for (const std::size_t slot : slots) {
+        observations[slot] = run_device_forked(world, devices[slot], spec);
+      }
+    }
+    return observations;
+  }
+#endif
+  (void)warm;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    observations[i] = run_device_cold(devices[i], spec);
+  }
+  return observations;
+}
+
+}  // namespace mvqoe::fleet

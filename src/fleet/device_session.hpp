@@ -1,0 +1,87 @@
+// One fleet device-session: world template preparation and the
+// per-second usage loop (DESIGN.md §15).
+//
+// The session splits like the warm-start sweeps (runner/warm_sweep):
+// a *template* phase — boot the family's device, preload the cohort's
+// organic apps, idle through warmup — that is identical for every
+// device of a (family, cohort) pair, and a *session* phase driven by
+// the device's own seed. Warm mode prepares the template once per
+// group and forks a copy-on-write child per device; cold mode rebuilds
+// the template in-process per device from the same world stream. Both
+// produce bit-identical DeviceObservations — the fleet test asserts it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "fleet/population.hpp"
+#include "fleet/spec.hpp"
+#include "mem/memory_manager.hpp"
+#include "proc/activity_manager.hpp"
+#include "sim/engine.hpp"
+#include "snapshot/bytes.hpp"
+
+namespace mvqoe::fleet {
+
+inline constexpr int kLevels = 4;  // Normal, Moderate, Low, Critical
+
+/// What one device-session observed — the SignalCapturer counterpart at
+/// fleet scale. Sample vectors are in capture (time) order so folding
+/// them preserves the aggregate's deterministic input sequence.
+struct DeviceObservations {
+  std::uint32_t family = 0;
+  std::uint32_t cohort = 0;
+  /// Trim signals delivered, by level.
+  std::array<std::uint64_t, kLevels> signals{};
+  /// Whole seconds spent with each level as the current state.
+  std::array<std::uint32_t, kLevels> seconds_in_level{};
+  std::array<std::array<std::uint32_t, kLevels>, kLevels> transitions{};
+  /// (from-level, seconds) per completed dwell, in time order.
+  std::vector<std::pair<std::uint8_t, double>> dwell;
+  /// RAM utilization every sample_period_s, in time order.
+  std::vector<double> util_samples;
+  /// (level, available MB) every sample_period_s, in time order.
+  std::vector<std::pair<std::uint8_t, double>> avail_samples;
+};
+
+void encode_observations(snapshot::ByteWriter& w, const DeviceObservations& obs);
+DeviceObservations decode_observations(snapshot::ByteReader& r);
+
+/// A device world: engine + memory manager + activity manager, bound
+/// together in construction order. Non-copyable (the memory manager
+/// holds an engine reference); warm mode shares it across devices via
+/// fork, never via copy.
+class FleetWorld {
+ public:
+  explicit FleetWorld(const core::DeviceProfile& profile);
+  FleetWorld(const FleetWorld&) = delete;
+  FleetWorld& operator=(const FleetWorld&) = delete;
+
+  sim::Engine engine;
+  mem::MemoryManager memory;
+  proc::ActivityManager am;
+};
+
+/// Boot + cohort preload + warmup idle. Pure in (family, cohort,
+/// spec.seed, spec.warmup_s): cold rebuilds and warm forks of the same
+/// template are indistinguishable.
+void prepare_world(FleetWorld& world, std::uint32_t family, std::uint32_t cohort,
+                   const FleetSpec& spec);
+
+/// Run one device's session_s seconds of usage on a prepared world.
+/// Consumes the world (the session mutates it).
+DeviceObservations drive_session(FleetWorld& world, const FleetDevice& device,
+                                 const FleetSpec& spec);
+
+/// Observations for every device of shard `unit`, in ascending device
+/// order. Cold mode (warm == false) rebuilds each device's template
+/// in-process; warm mode prepares one template per (family, cohort)
+/// group present in the shard and forks a child per device, falling
+/// back to cold when fork is unavailable. Identical output either way.
+std::vector<DeviceObservations> run_shard_observations(const FleetSpec& spec, std::uint64_t unit,
+                                                       bool warm);
+
+}  // namespace mvqoe::fleet

@@ -1,0 +1,64 @@
+#include "fleet/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace mvqoe::fleet {
+
+namespace {
+
+/// Same rating distribution as the study generator: mass concentrated
+/// around the mode, clamped to the 1-5 survey scale.
+int draw_rating(stats::Rng& rng, int mode) {
+  const double value = rng.normal(static_cast<double>(mode), 1.1);
+  return static_cast<int>(std::clamp(std::lround(value), 1L, 5L));
+}
+
+const std::vector<double>& family_weights() {
+  static const std::vector<double> weights = [] {
+    std::vector<double> w;
+    for (const study::FleetFamily& family : study::fleet_families()) w.push_back(family.weight);
+    return w;
+  }();
+  return weights;
+}
+
+}  // namespace
+
+FleetDevice sample_fleet_device(std::uint64_t index, std::uint64_t seed) {
+  // Stream 2d samples the device, stream 2d+1 drives its session; the
+  // two never collide with each other or with world streams (bit 32).
+  stats::Rng rng(stats::derive_seed(seed, index * 2));
+  FleetDevice device;
+  device.index = index;
+  device.session_seed = stats::derive_seed(seed, index * 2 + 1);
+  device.family = static_cast<std::uint32_t>(rng.weighted_index(family_weights()));
+  device.cohort = static_cast<std::uint32_t>(rng.uniform_int(0, kCohorts - 1));
+
+  study::UserProfile& user = device.user;
+  // Fig 1 marginals: video streaming most frequent, then music, games.
+  user.rating_video = draw_rating(rng, 4);
+  user.rating_music = draw_rating(rng, 3);
+  user.rating_games = draw_rating(rng, 2);
+  user.rating_multitask_1 = draw_rating(rng, 4);
+  user.rating_multitask_2 = draw_rating(rng, 3);
+  user.app_switches_per_minute = rng.uniform(0.5, 2.0);
+  user.max_open_apps = 2 + user.rating_multitask_2;
+  return device;
+}
+
+int cohort_preload_apps(std::uint32_t cohort, std::int64_t ram_mb) noexcept {
+  const int retainable = static_cast<int>(std::max<std::int64_t>(2, ram_mb / 512));
+  return std::min(static_cast<int>(cohort) * 3, retainable);
+}
+
+std::uint64_t fleet_world_seed(std::uint64_t seed, std::uint32_t family,
+                               std::uint32_t cohort) noexcept {
+  return stats::derive_seed(seed, (1ULL << 32) | (static_cast<std::uint64_t>(family) * 16 +
+                                                  cohort));
+}
+
+}  // namespace mvqoe::fleet

@@ -1,0 +1,75 @@
+#include "fleet/spec.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/checkpoint.hpp"
+#include "snapshot/bytes.hpp"
+#include "snapshot/digest.hpp"
+
+namespace mvqoe::fleet {
+
+namespace {
+
+void validate(const FleetSpec& spec) {
+  if (spec.devices == 0) throw std::invalid_argument("fleet: devices must be >= 1");
+  if (spec.session_s <= 0) throw std::invalid_argument("fleet: session seconds must be >= 1");
+  if (spec.sample_period_s <= 0) {
+    throw std::invalid_argument("fleet: sample period must be >= 1s");
+  }
+  if (spec.warmup_s < 0) throw std::invalid_argument("fleet: warmup must be >= 0s");
+  if (spec.shard_size == 0) throw std::invalid_argument("fleet: shard size must be >= 1");
+}
+
+}  // namespace
+
+std::uint64_t fleet_total_units(const FleetSpec& spec) {
+  return (spec.devices + spec.shard_size - 1) / spec.shard_size;
+}
+
+std::string encode_fleet_config(const FleetSpec& spec) {
+  snapshot::ByteWriter w;
+  w.u32(1);  // config version
+  w.u64(spec.devices);
+  w.u64(spec.seed);
+  w.i32(spec.session_s);
+  w.i32(spec.sample_period_s);
+  w.i32(spec.warmup_s);
+  w.u64(spec.shard_size);
+  return std::move(w).take();
+}
+
+FleetSpec decode_fleet_config(const std::string& bytes) {
+  snapshot::ByteReader r(bytes);
+  const std::uint32_t version = r.u32();
+  if (version != 1) {
+    throw std::runtime_error("fleet: unsupported config version " + std::to_string(version));
+  }
+  FleetSpec spec;
+  spec.devices = r.u64();
+  spec.seed = r.u64();
+  spec.session_s = r.i32();
+  spec.sample_period_s = r.i32();
+  spec.warmup_s = r.i32();
+  spec.shard_size = r.u64();
+  if (!r.done()) throw std::runtime_error("fleet: trailing bytes after the fleet config");
+  validate(spec);
+  return spec;
+}
+
+std::uint64_t fleet_config_fingerprint(const FleetSpec& spec) {
+  snapshot::StateHash hash;
+  hash.mix_bytes(encode_fleet_config(spec));
+  return hash.value();
+}
+
+FleetSpec load_fleet_resume_spec(const std::string& path) {
+  const campaign::CheckpointState state = campaign::read_checkpoint_file(path);
+  try {
+    return decode_fleet_config(state.config);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("fleet: " + path + ": " + e.what());
+  }
+}
+
+}  // namespace mvqoe::fleet

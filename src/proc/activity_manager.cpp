@@ -50,6 +50,21 @@ ProcessId ActivityManager::launch(const AppSpec& app, std::function<void()> on_k
   return pid;
 }
 
+ProcessId ActivityManager::add_cached(const AppSpec& app) {
+  AppSpec spec = app;
+  spec.heap_pages =
+      static_cast<mem::Pages>(static_cast<double>(spec.heap_pages) * system_scale_ / 3.0);
+  spec.code_pages =
+      static_cast<mem::Pages>(static_cast<double>(spec.code_pages) * system_scale_ / 2.0);
+  const ProcessId pid = next_pid();
+  memory_.register_process(pid, spec.name, mem::OomAdj::kCached);
+  memory_.alloc_anon(pid, spec.heap_pages, 0, [this, pid, heap = spec.heap_pages](bool ok) {
+    if (ok) memory_.set_hot_pages(pid, heap / 10);
+  });
+  memory_.map_file(pid, spec.code_pages + spec.heap_pages / 3, 0, nullptr);
+  return pid;
+}
+
 void ActivityManager::move_to_background(ProcessId pid) {
   const mem::ProcessMem* process = memory_.registry().find(pid);
   if (process == nullptr) return;

@@ -32,6 +32,13 @@ class ActivityManager {
   /// asynchronously through the memory manager.
   ProcessId launch(const AppSpec& app, std::function<void()> on_kill = nullptr);
 
+  /// Append one trimmed process to the cached LRU without a foreground
+  /// launch: the footprint boot() gives its baseline population, scaled
+  /// to the system image. This is how organic background state (e.g. a
+  /// fleet cohort's preloaded apps) enters a world — backgrounded apps
+  /// accumulated over days, not six synchronous foreground launches.
+  ProcessId add_cached(const AppSpec& app);
+
   /// Foreground/background transitions adjust oom_adj and LRU warmth.
   void move_to_background(ProcessId pid);
   void bring_to_foreground(ProcessId pid);

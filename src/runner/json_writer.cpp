@@ -142,7 +142,12 @@ void write_histogram(JsonWriter& w, const stats::Histogram& h) {
   }
   w.key("counts").begin_array();
   for (std::size_t b = 0; b < h.bin_count(); ++b) w.value(h.count(b));
-  w.end_array().end_object();
+  w.end_array();
+  // Overflow counters only appear when nonzero: legacy Clamp histograms
+  // never set them, keeping existing BENCH_* output byte-identical.
+  if (h.below() > 0) w.field("below", h.below());
+  if (h.above() > 0) w.field("above", h.above());
+  w.end_object();
 }
 
 std::string bench_json_path(std::string_view bench_name) {

@@ -54,7 +54,8 @@ class JsonWriter {
 /// {"mean":..,"ci95":..,"min":..,"max":..,"n":..}
 void write_mean_ci(JsonWriter& w, const stats::MeanCi& m);
 
-/// {"lo":..,"hi":..,"counts":[..]}
+/// {"lo":..,"hi":..,"counts":[..]} plus "below"/"above" overflow
+/// counters when nonzero (Overflow::Track histograms only).
 void write_histogram(JsonWriter& w, const stats::Histogram& h);
 
 /// Path for a bench output file: "<MVQOE_JSON_DIR or .>/BENCH_<name>.json".

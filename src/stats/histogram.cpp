@@ -2,15 +2,28 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 #include "stats/summary.hpp"
 
 namespace mvqoe::stats {
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+Histogram::Histogram(double lo, double hi, std::size_t bins, Overflow policy)
+    : lo_(lo), hi_(hi), policy_(policy), counts_(bins == 0 ? 1 : bins, 0) {}
 
 void Histogram::add(double x) noexcept {
+  if (policy_ == Overflow::Track) {
+    if (x < lo_) {
+      ++below_;
+      ++total_;
+      return;
+    }
+    if (x >= hi_) {
+      ++above_;
+      ++total_;
+      return;
+    }
+  }
   const double span = hi_ - lo_;
   std::size_t bin = 0;
   if (span > 0.0) {
@@ -28,6 +41,27 @@ void Histogram::add_count(std::size_t bin, std::size_t count) noexcept {
   total_ += count;
 }
 
+void Histogram::add_overflow(std::size_t below, std::size_t above) noexcept {
+  below_ += below;
+  above_ += above;
+  total_ += below + above;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size() ||
+      policy_ != other.policy_) {
+    char what[160];
+    std::snprintf(what, sizeof what,
+                  "histogram merge: incompatible bins [%g,%g)x%zu vs [%g,%g)x%zu", lo_, hi_,
+                  counts_.size(), other.lo_, other.hi_, other.counts_.size());
+    throw std::invalid_argument(what);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  below_ += other.below_;
+  above_ += other.above_;
+}
+
 double Histogram::bin_low(std::size_t bin) const noexcept {
   return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
 }
@@ -43,10 +77,18 @@ std::string Histogram::render(std::size_t width) const {
   for (std::size_t c : counts_) peak = std::max(peak, c);
   std::string out;
   char line[160];
+  if (below_ > 0) {
+    std::snprintf(line, sizeof line, "  below %8.2f          %6zu\n", lo_, below_);
+    out += line;
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double frac = peak == 0 ? 0.0 : static_cast<double>(counts_[i]) / static_cast<double>(peak);
     std::snprintf(line, sizeof line, "  [%8.2f, %8.2f) %6zu |%s\n", bin_low(i), bin_high(i),
                   counts_[i], ascii_bar(frac, width).c_str());
+    out += line;
+  }
+  if (above_ > 0) {
+    std::snprintf(line, sizeof line, "  above %8.2f          %6zu\n", hi_, above_);
     out += line;
   }
   return out;

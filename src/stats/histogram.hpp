@@ -1,5 +1,6 @@
 // Fixed-bin histogram used for DMOS score distributions (Fig 10), the
-// Fig 1 usage heatmap counts, and diagnostic distributions in tests.
+// Fig 1 usage heatmap counts, fleet-scale signal distributions
+// (src/fleet), and diagnostic distributions in tests.
 #pragma once
 
 #include <cstddef>
@@ -8,32 +9,63 @@
 
 namespace mvqoe::stats {
 
+/// What to do with samples outside [lo, hi).
+enum class Overflow {
+  /// Fold out-of-range samples into the first/last bin (legacy
+  /// behaviour; no sample is dropped, but the edges lie).
+  Clamp,
+  /// Count out-of-range samples in dedicated below()/above() counters
+  /// instead of the edge bins, so fleet aggregates can see that a bin
+  /// range was mis-sized instead of silently absorbing the evidence.
+  Track,
+};
+
 class Histogram {
  public:
-  /// Uniform bins covering [lo, hi); values outside are clamped into the
-  /// first/last bin so no sample is silently dropped.
-  Histogram(double lo, double hi, std::size_t bins);
+  /// Uniform bins covering [lo, hi); out-of-range handling per `policy`
+  /// (Clamp keeps the pre-fleet semantics and is the default).
+  Histogram(double lo, double hi, std::size_t bins, Overflow policy = Overflow::Clamp);
 
   void add(double x) noexcept;
   void add_count(std::size_t bin, std::size_t count) noexcept;
+  /// Bump the overflow counters directly — the deserialization
+  /// counterpart of add() under Overflow::Track (src/fleet decode).
+  void add_overflow(std::size_t below, std::size_t above) noexcept;
+
+  /// Merge another histogram into this one. The two must be
+  /// bin-compatible — identical [lo, hi), bin count and overflow policy
+  /// — otherwise throws std::invalid_argument: a silent merge of
+  /// mismatched grids would corrupt every downstream figure.
+  void merge(const Histogram& other);
 
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  /// Total samples, including any below/above overflow.
   std::size_t total() const noexcept { return total_; }
+  /// Samples below lo / at-or-above hi (always 0 under Overflow::Clamp).
+  std::size_t below() const noexcept { return below_; }
+  std::size_t above() const noexcept { return above_; }
+  double low() const noexcept { return lo_; }
+  double high() const noexcept { return hi_; }
+  Overflow policy() const noexcept { return policy_; }
   double bin_low(std::size_t bin) const noexcept;
   double bin_high(std::size_t bin) const noexcept;
   /// Fraction of all samples in this bin (0 when empty).
   double fraction(std::size_t bin) const noexcept;
 
   /// Multi-line ASCII rendering with one row per bin — bench binaries use
-  /// this to sketch the paper's histogram figures in text output.
+  /// this to sketch the paper's histogram figures in text output. Tracked
+  /// overflow counters get their own rows when nonzero.
   std::string render(std::size_t width = 40) const;
 
  private:
   double lo_;
   double hi_;
+  Overflow policy_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t below_ = 0;
+  std::size_t above_ = 0;
 };
 
 }  // namespace mvqoe::stats

@@ -1,0 +1,139 @@
+#include "stats/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mvqoe::stats {
+
+QuantileSketch::QuantileSketch(std::size_t k) : k_(k < 8 ? 8 : k) {}
+
+void QuantileSketch::add(double x) {
+  if (std::isnan(x)) return;
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+  }
+  levels_[0].push_back(x);
+  if (levels_[0].size() >= k_) compact_from(0);
+}
+
+void QuantileSketch::compact_from(std::size_t level) {
+  // Compact upward until every level is back under capacity. Each pass
+  // sorts the level, promotes every other element (starting at the
+  // level's parity offset) with doubled weight, and keeps any unpaired
+  // trailing element in place so total retained weight is conserved.
+  for (std::size_t l = level; l < levels_.size(); ++l) {
+    if (levels_[l].size() < k_) break;
+    std::sort(levels_[l].begin(), levels_[l].end());
+    const std::size_t pairs = levels_[l].size() / 2;
+    const std::size_t offset = parity_[l] & 1u;
+    parity_[l] ^= 1u;
+    if (l + 1 == levels_.size()) {
+      levels_.emplace_back();
+      parity_.push_back(0);
+    }
+    // References only after the emplace_back above — growing the outer
+    // vector would invalidate them.
+    auto& buf = levels_[l];
+    auto& up = levels_[l + 1];
+    for (std::size_t p = 0; p < pairs; ++p) up.push_back(buf[2 * p + offset]);
+    if (buf.size() % 2 == 1) {
+      buf[0] = buf.back();
+      buf.resize(1);
+    } else {
+      buf.clear();
+    }
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (k_ != other.k_) {
+    char what[96];
+    std::snprintf(what, sizeof what, "quantile sketch merge: incompatible k (%zu vs %zu)", k_,
+                  other.k_);
+    throw std::invalid_argument(what);
+  }
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  while (levels_.size() < other.levels_.size()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+  }
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(), other.levels_[l].end());
+    parity_[l] ^= other.parity_[l] & 1u;
+  }
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].size() >= k_) compact_from(l);
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) throw std::logic_error("quantile sketch: quantile() on empty sketch");
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  struct Item {
+    double value;
+    std::uint64_t weight;
+  };
+  std::vector<Item> items;
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t w = 1ULL << l;
+    for (double v : levels_[l]) {
+      items.push_back({v, w});
+      total += w;
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.value < b.value; });
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (const Item& it : items) {
+    cum += static_cast<double>(it.weight);
+    if (cum >= target) return std::clamp(it.value, min_, max_);
+  }
+  return max_;
+}
+
+QuantileSketch::State QuantileSketch::save_state() const {
+  State s;
+  s.k = k_;
+  s.n = n_;
+  s.min = min_;
+  s.max = max_;
+  s.parity = parity_;
+  s.levels = levels_;
+  return s;
+}
+
+void QuantileSketch::restore_state(const State& state) {
+  if (state.k < 8 || state.parity.size() != state.levels.size()) {
+    throw std::invalid_argument("quantile sketch: malformed state");
+  }
+  k_ = state.k;
+  n_ = state.n;
+  min_ = state.min;
+  max_ = state.max;
+  parity_ = state.parity;
+  levels_ = state.levels;
+}
+
+}  // namespace mvqoe::stats

@@ -1,0 +1,73 @@
+// Deterministic mergeable quantile sketch for fleet-scale signal
+// distributions (DESIGN.md §15).
+//
+// A KLL-style compactor hierarchy: level l holds up to k sample values,
+// each standing for 2^l original samples. When a level fills it is
+// sorted and every other element is promoted to the next level with
+// doubled weight. Where the textbook sketch flips a random coin to pick
+// the surviving offset, this one flips a per-level parity bit that is
+// part of the sketch state — so the sketch is a pure function of its
+// input sequence, and a fleet aggregate that folds shard partials in
+// deterministic merge order produces byte-identical sketches across
+// --jobs / --procs / kill-and-resume (the same contract as the campaign
+// digest). Memory is O(k log(n/k)); counts are tracked exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mvqoe::stats {
+
+class QuantileSketch {
+ public:
+  /// `k` is the per-level buffer width: larger is more accurate and
+  /// bigger. Rank error is a few percent at the default.
+  explicit QuantileSketch(std::size_t k = 128);
+
+  /// Add one sample. NaN samples are dropped (they cannot be ordered).
+  void add(double x);
+
+  /// Merge another sketch into this one (level-wise concatenation, then
+  /// compaction). Requires identical k; throws std::invalid_argument
+  /// otherwise. NOT commutative bit-for-bit: callers that need
+  /// determinism must merge in a fixed order, which is exactly what the
+  /// fleet aggregate's ascending-unit merge order provides.
+  void merge(const QuantileSketch& other);
+
+  /// Exact number of samples added (not an estimate).
+  std::uint64_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  /// Exact extremes of the input stream.
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Estimated q-quantile, q in [0, 1] (clamped). q=0 / q=1 return the
+  /// exact min/max. Requires a non-empty sketch.
+  double quantile(double q) const;
+
+  /// Complete sketch state, exposed for serialization (src/fleet owns
+  /// the wire encoding; stats stays dependency-free).
+  struct State {
+    std::size_t k = 0;
+    std::uint64_t n = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint8_t> parity;           // one bit per level
+    std::vector<std::vector<double>> levels;    // levels[l]: weight 2^l each
+  };
+  State save_state() const;
+  void restore_state(const State& state);
+
+ private:
+  void compact_from(std::size_t level);
+
+  std::size_t k_;
+  std::uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint8_t> parity_;
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace mvqoe::stats

@@ -30,6 +30,25 @@ class Accumulator {
   /// normal critical value (1.96); 0 for fewer than two samples.
   double ci95_halfwidth() const noexcept;
 
+  /// Complete accumulator state, exposed so fleet aggregates can
+  /// serialize partials (src/fleet owns the wire encoding; stats stays
+  /// dependency-free). restore + merge round-trips bit-for-bit.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State save_state() const noexcept { return {n_, mean_, m2_, min_, max_}; }
+  void restore_state(const State& s) noexcept {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -50,10 +50,36 @@ struct StudyDevice {
 /// The 12 manufacturers represented in the study population.
 const std::vector<std::string>& manufacturers();
 
+/// Generate device `i` of the population — a pure function of
+/// (i, seed), so fleet shards can sample any slice of a huge population
+/// without materialising all of it. For every n > i,
+/// generate_population(n, seed)[i] == generate_study_device(i, seed).
+StudyDevice generate_study_device(int i, std::uint64_t seed);
+
 /// Generate `n` devices (the paper's n = 80). Marginals: RAM mix skewed
 /// to 2-4 GB with low-end and flagship tails; interactive hours 4-80 (so
 /// the > 10 h cleaning rule keeps roughly the paper's 48/80 fraction);
 /// survey ratings with video streaming as the most frequent activity.
 std::vector<StudyDevice> generate_population(int n, std::uint64_t seed);
+
+/// A concrete pinned device model for fleet simulation (DESIGN.md §15).
+/// Unlike StudyDevice — which samples per-device hardware, making every
+/// world unique — a family pins ram/cores/freq exactly, so one prepared
+/// world template can be shared (and CoW-forked) across every device of
+/// the family.
+struct FleetFamily {
+  std::string name;
+  std::int64_t ram_mb = 2048;
+  int cores = 4;
+  double freq_ghz = 1.8;
+  /// Population share used as the fleet sampling weight.
+  double weight = 1.0;
+
+  core::DeviceProfile profile() const;
+};
+
+/// Fixed catalog of six pinned device models whose weights mirror the
+/// study's RAM mix (skewed to 2-4 GB, low-end and flagship tails).
+const std::vector<FleetFamily>& fleet_families();
 
 }  // namespace mvqoe::study

@@ -1,0 +1,98 @@
+#!/bin/sh
+# Fleet CLI determinism smoke (ISSUE 8 acceptance scenario): the same
+# fleet run executed serially, under --procs 4, and SIGKILLed partway
+# (--kill-after-checkpoints) then resumed must print the same digest
+# and write byte-identical Figs 2-6 report JSON. Also round-trips the
+# --save blob through `mvqoe_fleet report`.
+set -u
+
+FLEET="$1"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mvqoe_fleet_smoke.XXXXXX")" || exit 1
+trap 'rm -rf "$WORK"' EXIT
+
+STATE="$WORK/fleet.mvqs"
+SPEC="--devices 1500 --seed 5 --session-s 3 --sample-period 2 --warmup-s 1 --shard-size 128"
+
+digest_of() {
+  sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' "$1" | tail -1
+}
+
+echo "== uninterrupted serial run =="
+# shellcheck disable=SC2086
+"$FLEET" run $SPEC --report "$WORK/serial.json" --save "$WORK/serial.mvqs" \
+    > "$WORK/serial.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "serial run failed with exit $status"
+  cat "$WORK/serial.log"
+  exit 1
+fi
+serial_digest=$(digest_of "$WORK/serial.log")
+echo "serial digest: $serial_digest"
+[ -n "$serial_digest" ] || { cat "$WORK/serial.log"; exit 1; }
+
+echo "== report subcommand re-renders the saved blob =="
+"$FLEET" report "$WORK/serial.mvqs" --out "$WORK/reprint.json" \
+    > "$WORK/report.log" 2>&1 || { cat "$WORK/report.log"; exit 1; }
+cmp -s "$WORK/serial.json" "$WORK/reprint.json" || {
+  echo "report-from-blob differs from the run's own report"
+  exit 1
+}
+
+echo "== --procs 4 run =="
+# shellcheck disable=SC2086
+"$FLEET" run $SPEC --procs 4 --report "$WORK/procs.json" \
+    > "$WORK/procs.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "procs run failed with exit $status"
+  cat "$WORK/procs.log"
+  exit 1
+fi
+procs_digest=$(digest_of "$WORK/procs.log")
+echo "procs digest:  $procs_digest"
+if [ "$procs_digest" != "$serial_digest" ]; then
+  echo "DIGEST MISMATCH: serial=$serial_digest procs=$procs_digest"
+  exit 1
+fi
+cmp -s "$WORK/serial.json" "$WORK/procs.json" || {
+  echo "procs report differs from serial report"
+  exit 1
+}
+
+echo "== fleet SIGKILLed after 1 progress checkpoint =="
+# shellcheck disable=SC2086
+"$FLEET" run $SPEC --procs 4 --state "$STATE" --kill-after-checkpoints 1 \
+    > "$WORK/killed.log" 2>&1
+status=$?
+# 137 = 128 + SIGKILL: the coordinator must actually die, not exit.
+if [ $status -ne 137 ]; then
+  echo "expected the fleet to die by SIGKILL (exit 137), got $status"
+  cat "$WORK/killed.log"
+  exit 1
+fi
+[ -f "$STATE" ] || { echo "no checkpoint at $STATE"; exit 1; }
+
+echo "== resume from the checkpoint (spec comes from the blob) =="
+"$FLEET" resume "$STATE" --procs 4 --report "$WORK/resumed.json" \
+    > "$WORK/resume.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "resume failed with exit $status"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+resumed_digest=$(digest_of "$WORK/resume.log")
+echo "resumed digest: $resumed_digest"
+if [ "$resumed_digest" != "$serial_digest" ]; then
+  echo "DIGEST MISMATCH: serial=$serial_digest resumed=$resumed_digest"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+cmp -s "$WORK/serial.json" "$WORK/resumed.json" || {
+  echo "resumed report differs from serial report"
+  exit 1
+}
+
+echo "OK: serial, --procs and kill-and-resume are byte-identical"
+exit 0

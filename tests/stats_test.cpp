@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "stats/histogram.hpp"
 #include "stats/rng.hpp"
+#include "stats/sketch.hpp"
 #include "stats/summary.hpp"
 
 namespace mvqoe::stats {
@@ -279,6 +281,154 @@ TEST(Histogram, RenderContainsEveryBin) {
   for (int i = 0; i < 5; ++i) h.add(static_cast<double>(i) + 0.5);
   const std::string out = h.render(10);
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(Histogram, MergeMatchesBulkAdd) {
+  Rng rng(41);
+  Histogram bulk(0.0, 100.0, 20);
+  Histogram left(0.0, 100.0, 20);
+  Histogram right(0.0, 100.0, 20);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10.0, 110.0);  // exercises clamping too
+    bulk.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.total(), bulk.total());
+  for (std::size_t b = 0; b < bulk.bin_count(); ++b) EXPECT_EQ(left.count(b), bulk.count(b));
+}
+
+TEST(Histogram, MergeRejectsIncompatibleGrids) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_THROW(h.merge(Histogram(0.0, 10.0, 6)), std::invalid_argument);
+  EXPECT_THROW(h.merge(Histogram(0.0, 20.0, 5)), std::invalid_argument);
+  EXPECT_THROW(h.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
+  EXPECT_THROW(h.merge(Histogram(0.0, 10.0, 5, Overflow::Track)), std::invalid_argument);
+  h.merge(Histogram(0.0, 10.0, 5));  // compatible grid is fine
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, TrackPolicyCountsOverflowSeparately) {
+  Histogram h(0.0, 10.0, 5, Overflow::Track);
+  h.add(-1.0);
+  h.add(0.5);
+  h.add(10.0);  // hi is exclusive: lands in above()
+  h.add(25.0);
+  EXPECT_EQ(h.below(), 1u);
+  EXPECT_EQ(h.above(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 0u);  // edge bin no longer absorbs overflow
+  EXPECT_EQ(h.total(), 4u);   // but totals still include it
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("below"), std::string::npos);
+  EXPECT_NE(out.find("above"), std::string::npos);
+}
+
+TEST(Histogram, TrackOverflowSurvivesMergeAndAddOverflow) {
+  Histogram a(0.0, 1.0, 2, Overflow::Track);
+  Histogram b(0.0, 1.0, 2, Overflow::Track);
+  a.add(-5.0);
+  b.add(2.0);
+  b.add_overflow(3, 4);
+  a.merge(b);
+  EXPECT_EQ(a.below(), 4u);
+  EXPECT_EQ(a.above(), 5u);
+  EXPECT_EQ(a.total(), 9u);
+}
+
+TEST(Histogram, ClampPolicyRenderHasNoOverflowRows) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(25.0);
+  EXPECT_EQ(h.below(), 0u);
+  EXPECT_EQ(h.above(), 0u);
+  const std::string out = h.render(10);
+  EXPECT_EQ(out.find("below"), std::string::npos);
+  EXPECT_EQ(out.find("above"), std::string::npos);
+}
+
+namespace {
+
+bool same_sketch_state(const QuantileSketch::State& a, const QuantileSketch::State& b) {
+  return a.k == b.k && a.n == b.n && a.min == b.min && a.max == b.max &&
+         a.parity == b.parity && a.levels == b.levels;
+}
+
+}  // namespace
+
+TEST(QuantileSketch, PureFunctionOfInputSequence) {
+  QuantileSketch a(64);
+  QuantileSketch b(64);
+  Rng rng(97);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  for (double x : xs) a.add(x);
+  for (double x : xs) b.add(x);
+  EXPECT_TRUE(same_sketch_state(a.save_state(), b.save_state()));
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(QuantileSketch, QuantilesApproximateAndExtremesExact) {
+  QuantileSketch s;
+  for (int i = 0; i < 10000; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 10000u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 9999.0);
+  EXPECT_NEAR(s.quantile(0.5), 5000.0, 500.0);
+  EXPECT_NEAR(s.quantile(0.9), 9000.0, 500.0);
+  EXPECT_LE(s.quantile(0.1), s.quantile(0.9));  // monotone
+}
+
+TEST(QuantileSketch, MergeIsDeterministicInFixedOrder) {
+  Rng rng(7);
+  QuantileSketch a(64);
+  QuantileSketch b(64);
+  for (int i = 0; i < 3000; ++i) a.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 3000; ++i) b.add(rng.normal(5.0, 2.0));
+  QuantileSketch m1(64);
+  m1.merge(a);
+  m1.merge(b);
+  QuantileSketch m2(64);
+  m2.merge(a);
+  m2.merge(b);
+  EXPECT_EQ(m1.count(), 6000u);
+  EXPECT_TRUE(same_sketch_state(m1.save_state(), m2.save_state()));
+  EXPECT_DOUBLE_EQ(m1.min(), std::min(a.min(), b.min()));
+  EXPECT_DOUBLE_EQ(m1.max(), std::max(a.max(), b.max()));
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedWidth) {
+  QuantileSketch a(64);
+  QuantileSketch b(128);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, SaveRestoreRoundTripsExactly) {
+  QuantileSketch s(32);
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) s.add(rng.exponential(1.0));
+  QuantileSketch restored(8);  // deliberately different shape pre-restore
+  restored.restore_state(s.save_state());
+  EXPECT_TRUE(same_sketch_state(s.save_state(), restored.save_state()));
+  // The restored sketch continues identically, not just statically.
+  s.add(42.0);
+  restored.add(42.0);
+  EXPECT_TRUE(same_sketch_state(s.save_state(), restored.save_state()));
+}
+
+TEST(Accumulator, StateRoundTripBitExact) {
+  Accumulator acc;
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) acc.add(rng.normal(3.0, 2.0));
+  Accumulator restored;
+  restored.restore_state(acc.save_state());
+  Accumulator tail;
+  for (int i = 0; i < 100; ++i) tail.add(rng.uniform(0.0, 1.0));
+  acc.merge(tail);
+  restored.merge(tail);
+  EXPECT_EQ(acc.count(), restored.count());
+  EXPECT_DOUBLE_EQ(acc.mean(), restored.mean());
+  EXPECT_DOUBLE_EQ(acc.stddev(), restored.stddev());
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/progress.hpp"
 #include "campaign/signal.hpp"
 #include "campaign/sweep_campaign.hpp"
 #include "runner/video_batch.hpp"
@@ -50,8 +51,10 @@ int usage() {
                "                            [--procs N] [--group-workers N] [--state FILE]\n"
                "                            [--shard-size N] [--retries N]\n"
                "                            [--heartbeat-ms N] [--backoff-ms N] [--out NAME]\n"
+               "                            [--progress]\n"
                "       mvqoe_campaign sweep --resume FILE [--procs N] [--group-workers N]\n"
-               "states: normal moderate low critical\n");
+               "states: normal moderate low critical\n"
+               "--progress paints a done/total + units/sec + ETA line on stderr\n");
   return 2;
 }
 
@@ -92,6 +95,7 @@ struct Args {
   std::int64_t abort_unit = -1;
   int abort_attempts = 1;
   std::string out_name;
+  bool progress = false;
   bool ok = true;
 };
 
@@ -163,6 +167,8 @@ Args parse_args(int argc, char** argv) {
       args.abort_attempts = std::atoi(value(i));
     } else if (is_flag(i, "--out")) {
       args.out_name = value(i);
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      args.progress = true;
     } else {
       args.ok = false;
     }
@@ -201,7 +207,15 @@ int cmd_sweep(const Args& args) {
   campaign::InterruptGuard guard;
   copts.interrupt = guard.flag();
 
+  campaign::ProgressMeter meter("groups");
+  if (args.progress) {
+    copts.progress = [&meter](std::uint64_t done, std::uint64_t total_units) {
+      meter.update(done, total_units);
+    };
+  }
+
   const campaign::SweepCampaignResult result = campaign::run_sweep_campaign(spec, copts);
+  meter.finish();
   const std::uint64_t total = campaign::sweep_total_units(spec);
 
   if (result.campaign.units_from_checkpoint > 0) {

@@ -52,6 +52,7 @@
 #include <string>
 
 #include "campaign/fuzz_campaign.hpp"
+#include "campaign/progress.hpp"
 #include "campaign/signal.hpp"
 #include "check/harness.hpp"
 #include "check/shrink.hpp"
@@ -66,6 +67,7 @@ int usage() {
                "usage: mvqoe_fuzz [--seed N] [--runs N] [--jobs N] [--out DIR]\n"
                "                  [--max-videos N] [--max-duration S] [--no-meta]\n"
                "                  [--perturb-run K] [--perturb-at S] [--minutes N]\n"
+               "                  [--progress]\n"
                "       mvqoe_fuzz --procs N [--state FILE] [--shard-size N] [--retries N]\n"
                "                  [--heartbeat-ms N] [--backoff-ms N] [common flags]\n"
                "       mvqoe_fuzz --resume FILE [--procs N]\n"
@@ -97,6 +99,7 @@ struct Args {
   int abort_run = -1;
   int abort_attempts = 1;
   int kill_after_checkpoints = 0;
+  bool progress = false;
   bool ok = true;
 };
 
@@ -158,6 +161,8 @@ Args parse_args(int argc, char** argv) {
       args.abort_attempts = std::atoi(value(i));
     } else if (is_flag(i, "--kill-after-checkpoints")) {
       args.kill_after_checkpoints = std::atoi(value(i));
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      args.progress = true;
     } else {
       args.ok = false;
     }
@@ -283,7 +288,15 @@ int cmd_campaign(const Args& args) {
   campaign::InterruptGuard guard;
   copts.interrupt = guard.flag();
 
+  campaign::ProgressMeter meter("runs");
+  if (args.progress) {
+    copts.progress = [&meter](std::uint64_t done, std::uint64_t total) {
+      meter.update(done, total);
+    };
+  }
+
   const campaign::FuzzCampaignResult result = campaign::run_fuzz_campaign(opts, copts);
+  meter.finish();
 
   if (result.campaign.units_from_checkpoint > 0) {
     std::printf("resumed: %llu/%d runs from checkpoint, %llu executed\n",
@@ -341,8 +354,15 @@ int run_campaign(const Args& args) {
     const std::uint64_t batch_seed =
         args.minutes > 0 ? stats::derive_seed(args.seed, 1000000ULL + static_cast<std::uint64_t>(batch))
                          : args.seed;
-    const check::FuzzOptions opts = fuzz_options(args, batch_seed);
+    check::FuzzOptions opts = fuzz_options(args, batch_seed);
+    campaign::ProgressMeter meter("runs");
+    if (args.progress) {
+      opts.progress = [&meter](std::uint64_t done, std::uint64_t total) {
+        meter.update(done, total);
+      };
+    }
     const check::FuzzSummary summary = check::run_fuzz(opts);
+    meter.finish();
     for (const check::FuzzFailure& failure : summary.failures) {
       handle_failure(args, opts, failure);
     }
