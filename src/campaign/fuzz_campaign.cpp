@@ -26,6 +26,13 @@ std::string encode_fuzz_config(const check::FuzzOptions& opts) {
   w.u64(opts.check.livelock_limit);
   w.i32(opts.perturb_run);
   w.i64(opts.perturb_offset);
+  // Optional tail (still config version 1): the generator's policy axis,
+  // written only when set so historical checkpoints keep their
+  // fingerprints.
+  if (!opts.generator.policies.empty()) {
+    w.u32(static_cast<std::uint32_t>(opts.generator.policies.size()));
+    for (const std::string& name : opts.generator.policies) w.str(name);
+  }
   return std::move(w).take();
 }
 
@@ -53,6 +60,13 @@ check::FuzzOptions decode_fuzz_config(const std::string& bytes) {
   opts.check.livelock_limit = r.u64();
   opts.perturb_run = r.i32();
   opts.perturb_offset = r.i64();
+  if (!r.done()) {
+    const std::uint32_t policy_count = r.u32();
+    opts.generator.policies.reserve(policy_count);
+    for (std::uint32_t i = 0; i < policy_count; ++i) {
+      opts.generator.policies.push_back(r.str());
+    }
+  }
   if (!r.done()) {
     throw std::runtime_error("campaign: trailing bytes after the fuzz config");
   }

@@ -16,6 +16,7 @@ scenario::ScenarioSpec sweep_proto(const SweepCampaignSpec& spec) {
   scenario::ScenarioSpec proto;
   proto.family = spec.family;
   proto.organic_background_apps = spec.organic_apps;
+  proto.mem_policy = spec.mem_policy;
   scenario::VideoWorkloadSpec session;
   session.duration_s = spec.duration_s;
   proto.workloads.emplace_back(std::move(session));
@@ -30,6 +31,7 @@ void validate(const SweepCampaignSpec& spec) {
   if (spec.duration_s <= 0) {
     throw std::invalid_argument("campaign: sweep duration must be >= 1s");
   }
+  mem::validate_policy_spec(spec.mem_policy);
 }
 
 }  // namespace
@@ -52,6 +54,10 @@ std::string encode_sweep_config(const SweepCampaignSpec& spec) {
   for (const int h : spec.heights) w.i32(h);
   w.i32(spec.runs);
   w.u64(spec.seed);
+  // Optional tail (still config version 1): the memory policy, written
+  // only when non-baseline so historical checkpoints keep their
+  // fingerprints.
+  if (!spec.mem_policy.is_baseline()) mem::save_policy_spec(w, spec.mem_policy);
   return std::move(w).take();
 }
 
@@ -84,6 +90,7 @@ SweepCampaignSpec decode_sweep_config(const std::string& bytes) {
   for (std::uint32_t i = 0; i < height_count; ++i) spec.heights.push_back(r.i32());
   spec.runs = r.i32();
   spec.seed = r.u64();
+  if (!r.done()) spec.mem_policy = mem::load_policy_spec(r);
   if (!r.done()) {
     throw std::runtime_error("campaign: trailing bytes after the sweep config");
   }

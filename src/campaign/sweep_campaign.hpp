@@ -34,6 +34,10 @@ struct SweepCampaignSpec {
   std::vector<int> heights = {240, 360, 480, 720, 1080};
   int runs = 1;
   std::uint64_t seed = 5;
+  /// Memory reclaim/kill policy every world in the grid runs. Baseline
+  /// (the default) encodes to nothing, so historical checkpoint
+  /// fingerprints are unchanged.
+  mem::MemPolicySpec mem_policy;
   /// Forked video-phase workers inside each group worker.
   int group_workers = 1;
 };

@@ -107,6 +107,13 @@ scenario::ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorConf
     scen.workloads.emplace_back(hog);
   }
 
+  // Policy axis last: with the default (empty) list nothing is drawn, so
+  // every historical (seed, i) -> spec mapping stays intact.
+  if (!config.policies.empty()) {
+    scen.mem_policy.name = config.policies[rng.uniform_int(
+        0, static_cast<std::int64_t>(config.policies.size()) - 1)];
+  }
+
   return scen;
 }
 

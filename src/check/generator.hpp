@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "scenario/spec.hpp"
 
@@ -26,6 +28,10 @@ struct GeneratorConfig {
   double background_probability = 0.35;
   double pressure_workload_probability = 0.25;
   double organic_probability = 0.2;
+  /// Memory-policy axis: each generated world picks one name uniformly.
+  /// Empty (the default) pins the baseline and draws nothing from the
+  /// RNG, so historical (seed, i) -> spec mappings are unchanged.
+  std::vector<std::string> policies;
 };
 
 /// Deterministic: same (seed, config) -> identical spec, always

@@ -34,13 +34,7 @@ WorldObservation WorldObserver::observe(const scenario::ScenarioDriver& driver, 
   const auto conservation = memory.check_conservation();
   obs.mem.conservation_ok = conservation.ok;
   obs.mem.conservation_detail = conservation.detail;
-  obs.mem.lmkd_kill_threshold = mc.lmkd_kill_threshold;
-  obs.mem.lmkd_foreground_threshold = mc.lmkd_foreground_threshold;
-  obs.mem.lmkd_background_adj_floor = mc.lmkd_background_adj_floor;
-  obs.mem.minfree_cached = mc.minfree_cached;
-  obs.mem.minfree_service = mc.minfree_service;
-  obs.mem.minfree_perceptible = mc.minfree_perceptible;
-  obs.mem.minfree_foreground = mc.minfree_foreground;
+  obs.mem.charter = memory.kill_charter();
 
   obs.threads.reserve(scheduler.thread_count());
   for (sched::ThreadId tid = 1; tid <= scheduler.thread_count(); ++tid) {

@@ -57,15 +57,12 @@ struct MemObs {
   double pressure = 0.0;
   bool conservation_ok = true;
   std::string conservation_detail;
-  // lmkd band rules (constants for the run) — the kill-ordering oracle
-  // replays lmkd_min_adj() from these plus each KillAudit's inputs.
-  double lmkd_kill_threshold = 60.0;
-  double lmkd_foreground_threshold = 95.0;
-  int lmkd_background_adj_floor = mem::OomAdj::kService;
-  mem::Pages minfree_cached = 0;
-  mem::Pages minfree_service = 0;
-  mem::Pages minfree_perceptible = 0;
-  mem::Pages minfree_foreground = 0;
+  /// The active kill policy's declared decision rules (constant for the
+  /// run) — the kill-ordering oracle replays every lmkd decision with
+  /// mem::replay_kill_floor(charter, ...) plus each KillAudit's inputs,
+  /// so the legality rules follow whatever policy the world runs instead
+  /// of hard-coding baseline Android's bands.
+  mem::KillCharter charter;
 };
 
 struct EngineObs {

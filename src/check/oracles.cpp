@@ -15,34 +15,6 @@ Violation make(const WorldObservation& obs, const std::string& oracle, std::stri
   return v;
 }
 
-/// Replay of MemoryManager::lmkd_min_adj() from a kill audit's recorded
-/// decision inputs plus the run's (constant) band configuration.
-/// INT_MAX = lmkd has no business killing.
-int expected_min_adj(const MemObs& mem, double pressure, mem::Pages available,
-                     mem::Pages zram_stored) {
-  int min_adj = INT_MAX;
-  if (pressure >= mem.lmkd_foreground_threshold) {
-    const bool swap_depleted = mem.zram_capacity - zram_stored < mem.zram_capacity / 10;
-    if (swap_depleted || available < mem.minfree_perceptible) {
-      min_adj = mem::OomAdj::kForeground;
-    } else {
-      min_adj = mem.lmkd_background_adj_floor;
-    }
-  } else if (pressure > mem.lmkd_kill_threshold) {
-    min_adj = mem.lmkd_background_adj_floor;
-  }
-  if (available < mem.minfree_foreground) {
-    min_adj = std::min(min_adj, mem::OomAdj::kForeground);
-  } else if (available < mem.minfree_perceptible) {
-    min_adj = std::min(min_adj, mem::OomAdj::kPerceptible);
-  } else if (available < mem.minfree_service) {
-    min_adj = std::min(min_adj, mem::OomAdj::kService);
-  } else if (available < mem.minfree_cached) {
-    min_adj = std::min(min_adj, mem::OomAdj::kCached);
-  }
-  return min_adj;
-}
-
 }  // namespace
 
 // --- MemConservationOracle --------------------------------------------------
@@ -106,6 +78,7 @@ std::optional<Violation> KswapdOracle::check(const WorldObservation& obs) {
 
 std::optional<Violation> LmkdOrderOracle::check(const WorldObservation& obs) {
   using Audit = mem::MemoryManager::KillAudit;
+  const mem::KillCharter& charter = obs.mem.charter;
   sim::Time prev_at = -1;
   for (const Audit& kill : obs.new_kills) {
     if (prev_at >= 0 && kill.at < prev_at) {
@@ -116,16 +89,21 @@ std::optional<Violation> LmkdOrderOracle::check(const WorldObservation& obs) {
     prev_at = kill.at;
     if (kill.reason == Audit::Reason::External) continue;
 
-    // Victim selection: pick_victim(min_adj) takes the highest killable
-    // oom_adj alive, so the victim's band must both respect the floor
-    // and equal the recorded maximum.
+    // Victim selection: every killer respects the recorded floor...
     if (kill.oom_adj < kill.min_adj) {
       std::ostringstream why;
       why << "kill victim pid=" << kill.pid << " adj=" << kill.oom_adj
           << " below the killer's floor min_adj=" << kill.min_adj;
       return make(obs, name(), why.str());
     }
-    if (kill.oom_adj != kill.max_killable_adj) {
+    // ...and under the HighestAdj rule (Android's pick_victim, and
+    // always the OOM killer — that path is mechanism, not policy), the
+    // victim must also be the highest killable adj alive. FloorOnly
+    // policies (swam) score within the eligible set instead.
+    const bool highest_adj_rule =
+        kill.reason == Audit::Reason::Oom ||
+        charter.victim_rule == mem::KillCharter::VictimRule::HighestAdj;
+    if (highest_adj_rule && kill.oom_adj != kill.max_killable_adj) {
       std::ostringstream why;
       why << "kill victim pid=" << kill.pid << " adj=" << kill.oom_adj
           << " is not the highest killable adj alive (" << kill.max_killable_adj << ")";
@@ -133,35 +111,37 @@ std::optional<Violation> LmkdOrderOracle::check(const WorldObservation& obs) {
     }
 
     if (kill.reason == Audit::Reason::Lmkd) {
-      // lmkd only fires inside a strict pressure/minfree band; replay the
-      // band rules from the recorded decision inputs.
-      const int expected =
-          expected_min_adj(obs.mem, kill.pressure, kill.available, kill.zram_stored);
+      // lmkd only fires inside the charter's pressure/minfree band;
+      // replay the decision with the same function the live manager
+      // uses, from the recorded decision inputs.
+      const int expected = mem::replay_kill_floor(charter, kill.pressure, kill.available,
+                                                  kill.zram_stored, obs.mem.zram_capacity);
       if (expected != kill.min_adj) {
         std::ostringstream why;
         why << "lmkd kill pid=" << kill.pid << " used min_adj=" << kill.min_adj
-            << " but band rules give " << expected << " (P=" << kill.pressure
-            << " available=" << kill.available << " zram=" << kill.zram_stored << ")";
+            << " but the " << charter.policy_name << " charter gives " << expected
+            << " (P=" << kill.pressure << " available=" << kill.available
+            << " zram=" << kill.zram_stored << ")";
         return make(obs, name(), why.str());
       }
-      if (kill.at <= last_lmkd_at_) {
+      if (kill.at - last_lmkd_at_ < charter.kill_cooldown) {
         std::ostringstream why;
-        why << "two lmkd kills at the same instant (t=" << kill.at
-            << "): the post-kill cooldown forbids this";
+        why << "lmkd kills " << (kill.at - last_lmkd_at_) << " apart (t=" << kill.at
+            << "): the " << charter.kill_cooldown << " post-kill cooldown forbids this";
         return make(obs, name(), why.str());
       }
       last_lmkd_at_ = kill.at;
     } else {  // Oom
       // The kernel OOM killer prefers the background floor and escalates
       // to the foreground only when nothing lower-priority exists.
-      if (kill.min_adj != obs.mem.lmkd_background_adj_floor &&
+      if (kill.min_adj != charter.background_adj_floor &&
           kill.min_adj != mem::OomAdj::kForeground) {
         std::ostringstream why;
         why << "oom kill pid=" << kill.pid << " used unexpected floor min_adj=" << kill.min_adj;
         return make(obs, name(), why.str());
       }
       if (kill.min_adj == mem::OomAdj::kForeground &&
-          kill.oom_adj >= obs.mem.lmkd_background_adj_floor) {
+          kill.oom_adj >= charter.background_adj_floor) {
         std::ostringstream why;
         why << "oom kill escalated to the foreground floor while a background victim (adj="
             << kill.oom_adj << ") existed";

@@ -79,7 +79,9 @@ class LmkdOrderOracle final : public Oracle {
   std::optional<Violation> check(const WorldObservation& obs) override;
 
  private:
-  sim::Time last_lmkd_at_ = -1;
+  /// Mirrors MemoryManager's last_lmkd_kill_ initializer so the charter
+  /// cooldown check never trips on a world's very first lmkd kill.
+  sim::Time last_lmkd_at_ = -sim::hours(1);
 };
 
 /// Scheduler per-thread state machine, restricted to what the interval

@@ -10,6 +10,7 @@
 //
 // Ordering keys reproduce the legacy section order byte-for-byte:
 //   0-5    ENGN SCHD MEMM LINK STOR PROC  (Testbed constructor)
+//   6      MPOL            memory policy, only when it carries state
 //   10+2k  VIDE/VID1/...   k-th video session
 //   11+2k  FALT/FLT1/...   k-th session's fault injector
 //   100    SYSA            system activity (registered at boot)

@@ -4,10 +4,10 @@
 
 namespace mvqoe::core {
 
-Testbed::Testbed(DeviceProfile profile, std::uint64_t seed)
+Testbed::Testbed(DeviceProfile profile, std::uint64_t seed, mem::MemPolicySpec mem_policy)
     : scheduler(engine, tracer, profile.scheduler),
       storage(engine, scheduler, profile.storage),
-      memory(engine, profile.memory, scheduler, storage, tracer),
+      memory(engine, profile.memory, scheduler, storage, tracer, mem_policy),
       link(engine, net::LinkConfig{}),
       am(memory),
       profile_(std::move(profile)),
@@ -20,6 +20,12 @@ Testbed::Testbed(DeviceProfile profile, std::uint64_t seed)
   components_.add(3, "LINK", "link", &link);
   components_.add(4, "STOR", "storage", &storage);
   components_.add(5, "PROC", "proc", &am);
+  // Policies with internal state beyond the mechanism's pools carry an
+  // MPOL snapshot section (registry key 6); stateless policies don't, so
+  // baseline blobs stay byte-identical to the pre-policy layout.
+  if (memory.policy().has_state()) {
+    components_.add(6, "MPOL", "mem-policy", &memory.policy());
+  }
 }
 
 Testbed::~Testbed() = default;

@@ -25,7 +25,8 @@ class SystemActivity;
 
 class Testbed {
  public:
-  explicit Testbed(DeviceProfile profile, std::uint64_t seed = 1);
+  explicit Testbed(DeviceProfile profile, std::uint64_t seed = 1,
+                   mem::MemPolicySpec mem_policy = {});
   ~Testbed();
 
   Testbed(const Testbed&) = delete;

@@ -74,8 +74,8 @@ DeviceObservations decode_observations(snapshot::ByteReader& r) {
   return obs;
 }
 
-FleetWorld::FleetWorld(const core::DeviceProfile& profile)
-    : engine(), memory(engine, profile.memory), am(memory) {}
+FleetWorld::FleetWorld(const core::DeviceProfile& profile, const mem::MemPolicySpec& mem_policy)
+    : engine(), memory(engine, profile.memory, mem_policy), am(memory) {}
 
 namespace {
 
@@ -237,7 +237,7 @@ DeviceObservations drive_session(FleetWorld& world, const FleetDevice& device,
 namespace {
 
 DeviceObservations run_device_cold(const FleetDevice& device, const FleetSpec& spec) {
-  FleetWorld world(family_at(device.family).profile());
+  FleetWorld world(family_at(device.family).profile(), spec.mem_policy);
   prepare_world(world, device.family, device.cohort, spec);
   return drive_session(world, device, spec);
 }
@@ -309,7 +309,7 @@ std::vector<DeviceObservations> run_shard_observations(const FleetSpec& spec, st
       groups[{devices[i].family, devices[i].cohort}].push_back(i);
     }
     for (const auto& [key, slots] : groups) {
-      FleetWorld world(family_at(key.first).profile());
+      FleetWorld world(family_at(key.first).profile(), spec.mem_policy);
       prepare_world(world, key.first, key.second, spec);
       for (const std::size_t slot : slots) {
         observations[slot] = run_device_forked(world, devices[slot], spec);

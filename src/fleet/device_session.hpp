@@ -56,7 +56,8 @@ DeviceObservations decode_observations(snapshot::ByteReader& r);
 /// fork, never via copy.
 class FleetWorld {
  public:
-  explicit FleetWorld(const core::DeviceProfile& profile);
+  explicit FleetWorld(const core::DeviceProfile& profile,
+                      const mem::MemPolicySpec& mem_policy = {});
   FleetWorld(const FleetWorld&) = delete;
   FleetWorld& operator=(const FleetWorld&) = delete;
 

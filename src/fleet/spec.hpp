@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "mem/policy.hpp"
+
 namespace mvqoe::fleet {
 
 struct FleetSpec {
@@ -35,6 +37,10 @@ struct FleetSpec {
   /// checkpointing and crash retry. Peak memory is O(shard), never
   /// O(fleet).
   std::uint64_t shard_size = 256;
+  /// Memory reclaim/kill policy every device in the fleet runs.
+  /// Baseline (the default) encodes to nothing, so historical
+  /// checkpoint fingerprints are unchanged.
+  mem::MemPolicySpec mem_policy;
 };
 
 /// Campaign units: ceil(devices / shard_size). Unit u covers device

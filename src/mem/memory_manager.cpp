@@ -21,14 +21,6 @@ constexpr Pages kAllocChunk = 1024;  // 4 MiB
 /// Storage read batching for refaults: pages per I/O request.
 constexpr Pages kReadBatch = 64;  // 256 KiB
 
-/// Minimum spacing between lmkd kills.
-constexpr sim::Time kLmkdKillCooldown = sim::msec(150);
-
-Pages zram_physical(Pages stored, double ratio) noexcept {
-  if (stored <= 0) return 0;
-  return static_cast<Pages>(std::ceil(static_cast<double>(stored) / ratio));
-}
-
 }  // namespace
 
 const char* to_string(PressureLevel level) noexcept {
@@ -43,12 +35,14 @@ const char* to_string(PressureLevel level) noexcept {
 
 MemoryManager::MemoryManager(sim::Engine& engine, MemoryConfig config,
                              sched::Scheduler& scheduler, storage::StorageDevice& storage,
-                             trace::Tracer& tracer)
+                             trace::Tracer& tracer, const MemPolicySpec& policy)
     : engine_(engine),
       config_(config),
       scheduler_(&scheduler),
       storage_(&storage),
-      tracer_(&tracer) {
+      tracer_(&tracer),
+      policy_(make_mem_policy(policy, config)) {
+  policy_->reclaim().attach_scheduler(scheduler_);
   sched::ThreadSpec kswapd;
   kswapd.name = "kswapd0";
   kswapd.pid = 1;
@@ -66,13 +60,18 @@ MemoryManager::MemoryManager(sim::Engine& engine, MemoryConfig config,
   lmkd_tid_ = scheduler_->create_thread(lmkd);
 }
 
-MemoryManager::MemoryManager(sim::Engine& engine, MemoryConfig config)
-    : engine_(engine), config_(config) {}
+MemoryManager::MemoryManager(sim::Engine& engine, MemoryConfig config,
+                             const MemPolicySpec& policy)
+    : engine_(engine), config_(config), policy_(make_mem_policy(policy, config)) {}
 
 Pages MemoryManager::free_pages() const noexcept {
-  const Pages used = config_.kernel_reserved + anon_pool_ + file_clean_ + file_dirty_ +
-                     zram_physical(zram_stored_, config_.zram_compression);
+  const Pages used =
+      config_.kernel_reserved + anon_pool_ + file_clean_ + file_dirty_ + zram_physical_;
   return std::max<Pages>(0, config_.total - used);
+}
+
+void MemoryManager::refresh_zram_physical() noexcept {
+  zram_physical_ = policy_->reclaim().zram_physical(zram_stored_);
 }
 
 Pages MemoryManager::available_pages() const noexcept {
@@ -97,6 +96,8 @@ void MemoryManager::free_process_pages(ProcessId pid) {
   anon_pool_ -= freed.anon;
   file_clean_ -= freed.file;
   zram_stored_ -= freed.swapped;
+  if (freed.swapped > 0) policy_->reclaim().note_swap_release(pid, freed.swapped);
+  refresh_zram_physical();
   assert(anon_pool_ >= 0 && file_clean_ >= 0 && zram_stored_ >= 0);
   // Fail any allocation parked on behalf of the dead process.
   for (auto& waiter : waiters_) {
@@ -130,6 +131,7 @@ void MemoryManager::kill_with_audit(ProcessId pid, KillAudit::Reason reason, int
     audit.oom_adj = adj;
     audit.reason = reason;
     audit.min_adj = min_adj;
+    audit.policy_name = policy_->name();
     for (const ProcessMem* p : registry_.all()) {
       if (p->alive && p->killable) audit.max_killable_adj = std::max(audit.max_killable_adj, p->oom_adj);
     }
@@ -232,8 +234,9 @@ void MemoryManager::oom_check(std::uint64_t waiter_id) {
   for (const Waiter& waiter : waiters_) {
     if (waiter.id != waiter_id || waiter.done == nullptr) continue;
     // Prefer background victims; the foreground dies only when nothing
-    // else is left (classic OOM-killer escalation).
-    int floor_used = config_.lmkd_background_adj_floor;
+    // else is left (classic OOM-killer escalation). The OOM killer is
+    // mechanism, not policy: it always takes the highest-score victim.
+    int floor_used = policy_->charter().background_adj_floor;
     std::optional<ProcessId> victim = registry_.pick_victim(floor_used);
     if (!victim.has_value()) {
       floor_used = OomAdj::kForeground;
@@ -315,6 +318,8 @@ void MemoryManager::free_anon(ProcessId pid, Pages pages) {
   const Pages from_swap = std::min(pages - from_resident, process->anon_swapped);
   process->anon_swapped -= from_swap;
   zram_stored_ -= from_swap;
+  if (from_swap > 0) policy_->reclaim().note_swap_release(pid, from_swap);
+  refresh_zram_physical();
   pump_waiters();
   update_pressure_level();
 }
@@ -450,6 +455,8 @@ void MemoryManager::fault_anon_pages(ProcessId pid, sched::ThreadId tid, Pages r
         process->anon_resident += take;
         zram_stored_ -= take;
         anon_pool_ += take;
+        if (take > 0) policy_->reclaim().note_swap_release(pid, take);
+        refresh_zram_physical();
         vmstat_.pswpin += static_cast<std::uint64_t>(take);
         update_pressure_level();
         fault_anon_pages(pid, tid, remaining - chunk, std::move(next));
@@ -531,114 +538,61 @@ void MemoryManager::fault_file_pages(ProcessId pid, sched::ThreadId tid, Pages r
 // --- Reclaim ----------------------------------------------------------------
 
 MemoryManager::ReclaimOutcome MemoryManager::run_reclaim_batch(bool kswapd) {
+  // The policy plans the batch against a read-only pool view; the
+  // mechanism applies the plan so page accounting (and its conservation
+  // audit) stays in one place. What a batch takes — which processes,
+  // which pool, which zRAM tier, at what CPU cost — is entirely the
+  // policy's call (DESIGN.md §16).
+  ReclaimView view{registry_, available_pages(), zram_stored_,
+                   file_dirty_, dirty_in_flight_,  kswapd};
+  const ReclaimPlan plan = policy_->reclaim().plan_batch(view);
+
   ReclaimOutcome outcome;
-  const Pages budget = config_.kswapd_batch;
-  outcome.scanned = budget;
+  outcome.scanned = plan.scanned;
 
-  // Scan efficiency: the reclaimer walks `budget` LRU candidates; only
-  // the reclaimable fraction of the candidate pool yields pages. When
-  // most resident pages are hot working sets, a batch scans a lot and
-  // frees little — this ratio IS the paper's pressure metric
-  // P = (1 - reclaimed/scanned) * 100 (§2), and it is why reclaim slows
-  // to a crawl (and direct-reclaim stalls stretch) under real pressure.
-  const bool desperate = available_pages() < config_.minfree_service;
-  Pages candidates = 0;
-  Pages reclaimable = 0;
-  const Pages zram_headroom = config_.zram_capacity - zram_stored_;
-  Pages compressible_total = 0;
-  for (ProcessMem* process : registry_.reclaim_order()) {
-    if (process->unevictable) continue;  // pinned: not on the LRU at all
-    candidates += process->anon_resident + process->file_resident;
-    const Pages protected_file =
-        desperate ? 0 : std::min(process->file_resident, process->file_working_set / 2);
-    reclaimable += process->file_resident - protected_file;
-    compressible_total += std::max<Pages>(0, process->anon_resident - process->hot_pages);
-  }
-  reclaimable += std::min(compressible_total, zram_headroom);
-  reclaimable += file_dirty_ - dirty_in_flight_;
-  candidates += file_dirty_;
-  const double efficiency =
-      candidates > 0 ? static_cast<double>(reclaimable) / static_cast<double>(candidates) : 0.0;
-  Pages remaining = static_cast<Pages>(
-      std::ceil(static_cast<double>(budget) * std::min(1.0, efficiency)));
-  Pages reclaimed = 0;
-
-  // 1. Drop clean file pages, coldest/lowest-priority processes first.
-  // (Kernel reclaim is nominally adj-blind, but Android's per-app LRU
-  // warmth correlates strongly with oom_adj; the ordered walk is the
-  // tractable approximation — see DESIGN.md "Known deviations".) The
-  // active file list is protected (workingset detection): roughly half
-  // of a process's file working set survives eviction until the system
-  // is desperate (below the service minfree level).
-  for (ProcessMem* process : registry_.reclaim_order()) {
-    if (remaining <= 0) break;
-    if (process->unevictable) continue;
-    const Pages protected_file =
-        desperate ? 0 : std::min(process->file_resident, process->file_working_set / 2);
-    const Pages take = std::min(process->file_resident - protected_file, remaining);
-    if (take <= 0) continue;
-    process->file_resident -= take;
-    file_clean_ -= take;
-    remaining -= take;
-    reclaimed += take;
-    outcome.freed_now += take;
+  // 1. Drop clean file pages.
+  for (const ReclaimPlan::FileTake& take : plan.file_drops) {
+    take.process->file_resident -= take.pages;
+    file_clean_ -= take.pages;
+    outcome.freed_now += take.pages;
   }
 
-  // 2. Compress anonymous pages into zRAM (CPU work). Only pages outside
-  // the owners' hot working sets are takeable: scanning a hot set frees
-  // nothing, which is what drives P toward 100 when the system is down
-  // to working sets (reclaim-efficiency collapse).
-  Pages compressed = 0;
-  if (remaining > 0) {
-    Pages zram_space = config_.zram_capacity - zram_stored_;
-    for (ProcessMem* process : registry_.reclaim_order()) {
-      if (remaining <= 0 || zram_space <= 0) break;
-      if (process->unevictable) continue;
-      const Pages cold = std::max<Pages>(0, process->anon_resident - process->hot_pages);
-      const Pages take = std::min({cold, remaining, zram_space});
-      if (take <= 0) continue;
-      const Pages physical_before = zram_physical(zram_stored_, config_.zram_compression);
-      process->anon_resident -= take;
-      process->anon_swapped += take;
-      anon_pool_ -= take;
-      zram_stored_ += take;
-      const Pages physical_after = zram_physical(zram_stored_, config_.zram_compression);
-      remaining -= take;
-      zram_space -= take;
-      compressed += take;
-      reclaimed += take;
-      outcome.freed_now += take - (physical_after - physical_before);
-      vmstat_.pswpout += static_cast<std::uint64_t>(take);
-    }
+  // 2. Compress anonymous pages into zRAM. Each take is charged the
+  // store's physical growth (per the policy's tier ratios) against the
+  // freed total, exactly as the pre-policy manager did per process.
+  for (const ReclaimPlan::CompressTake& take : plan.compress) {
+    const Pages physical_before = zram_physical_;
+    take.process->anon_resident -= take.pages;
+    take.process->anon_swapped += take.pages;
+    anon_pool_ -= take.pages;
+    zram_stored_ += take.pages;
+    policy_->reclaim().note_swap_out(take.process->pid, take.pages, take.tier);
+    refresh_zram_physical();
+    outcome.freed_now += take.pages - (zram_physical_ - physical_before);
+    vmstat_.pswpout += static_cast<std::uint64_t>(take.pages);
   }
 
   // 3. Write back dirty file pages through the storage stack.
-  if (remaining > 0) {
-    const Pages dirty_available = file_dirty_ - dirty_in_flight_;
-    const Pages writeback = std::min(remaining, dirty_available);
-    if (writeback > 0) {
-      reclaimed += writeback;
-      outcome.writeback = writeback;
-      if (scheduled()) {
-        dirty_in_flight_ += writeback;
-        storage_->submit(storage::IoRequest{
-            true, static_cast<std::uint64_t>(bytes_from_pages(writeback)), [this, writeback] {
-              dirty_in_flight_ -= writeback;
-              file_dirty_ -= writeback;
-              vmstat_.pgpgout += static_cast<std::uint64_t>(writeback);
-              pump_waiters();
-              update_pressure_level();
-            }});
-      } else {
-        file_dirty_ -= writeback;
-        vmstat_.pgpgout += static_cast<std::uint64_t>(writeback);
-      }
+  if (plan.writeback > 0) {
+    const Pages writeback = plan.writeback;
+    outcome.writeback = writeback;
+    if (scheduled()) {
+      dirty_in_flight_ += writeback;
+      storage_->submit(storage::IoRequest{
+          true, static_cast<std::uint64_t>(bytes_from_pages(writeback)), [this, writeback] {
+            dirty_in_flight_ -= writeback;
+            file_dirty_ -= writeback;
+            vmstat_.pgpgout += static_cast<std::uint64_t>(writeback);
+            pump_waiters();
+            update_pressure_level();
+          }});
+    } else {
+      file_dirty_ -= writeback;
+      vmstat_.pgpgout += static_cast<std::uint64_t>(writeback);
     }
   }
 
-  outcome.cpu_refus = static_cast<double>(outcome.scanned) * config_.scan_cpu_refus +
-                      static_cast<double>(compressed) * config_.compress_cpu_refus;
-  (void)kswapd;
+  outcome.cpu_refus = plan.cpu_refus;
   return outcome;
 }
 
@@ -749,38 +703,16 @@ void MemoryManager::immediate_reclaim_to_high() {
 // --- lmkd -------------------------------------------------------------------
 
 int MemoryManager::lmkd_min_adj() const noexcept {
-  int min_adj = INT_MAX;
-  const double pressure = pressure_P();
-  if (pressure >= config_.lmkd_foreground_threshold) {
-    // Critical vmpressure makes the foreground eligible — but, as in
-    // lmkd's swap_free_low_percentage check, only once swap (zRAM) is
-    // nearly exhausted or available memory is truly scraping bottom.
-    const bool swap_depleted =
-        config_.zram_capacity - zram_stored_ < config_.zram_capacity / 10;
-    if (swap_depleted || available_pages() < config_.minfree_perceptible) {
-      min_adj = OomAdj::kForeground;
-    } else {
-      min_adj = config_.lmkd_background_adj_floor;
-    }
-  } else if (pressure > config_.lmkd_kill_threshold) {
-    min_adj = config_.lmkd_background_adj_floor;
-  }
-  const Pages available = available_pages();
-  if (available < config_.minfree_foreground) {
-    min_adj = std::min(min_adj, OomAdj::kForeground);
-  } else if (available < config_.minfree_perceptible) {
-    min_adj = std::min(min_adj, OomAdj::kPerceptible);
-  } else if (available < config_.minfree_service) {
-    min_adj = std::min(min_adj, OomAdj::kService);
-  } else if (available < config_.minfree_cached) {
-    min_adj = std::min(min_adj, OomAdj::kCached);
-  }
-  return min_adj;
+  // Shared replay logic: the same function the lmkd-ordering oracle
+  // calls when it audits this decision, so live behavior and legality
+  // rules cannot drift (kNoKillFloor == INT_MAX).
+  return replay_kill_floor(policy_->charter(), pressure_P(), available_pages(), zram_stored_,
+                           config_.zram_capacity);
 }
 
 void MemoryManager::maybe_activate_lmkd() {
   if (lmkd_min_adj() == INT_MAX) return;
-  if (engine_.now() - last_lmkd_kill_ < kLmkdKillCooldown) return;
+  if (engine_.now() - last_lmkd_kill_ < policy_->charter().kill_cooldown) return;
   if (scheduled()) {
     if (lmkd_busy_) return;
     lmkd_busy_ = true;
@@ -797,7 +729,7 @@ void MemoryManager::lmkd_do_kill() {
   // Re-check: pressure may have eased while lmkd's selection ran.
   const int min_adj = lmkd_min_adj();
   if (min_adj == INT_MAX) return;
-  const std::optional<ProcessId> victim = registry_.pick_victim(min_adj);
+  const std::optional<ProcessId> victim = policy_->kill().pick_victim(registry_, min_adj);
   if (!victim.has_value()) return;
   last_lmkd_kill_ = engine_.now();
   kill_with_audit(*victim, KillAudit::Reason::Lmkd, min_adj);
@@ -887,9 +819,12 @@ MemoryManager::ConservationReport MemoryManager::check_conservation() const {
          std::to_string(dirty_in_flight_) + ")");
   }
   if (zram_stored_ > config_.zram_capacity) fail("zram over capacity");
-  const Pages used = config_.kernel_reserved + anon_pool_ + file_clean_ + file_dirty_ +
-                     static_cast<Pages>(std::ceil(static_cast<double>(zram_stored_) /
-                                                  config_.zram_compression));
+  if (zram_physical_ != policy_->reclaim().zram_physical(zram_stored_)) {
+    fail("zram physical cache stale (" + std::to_string(zram_physical_) + " cached vs " +
+         std::to_string(policy_->reclaim().zram_physical(zram_stored_)) + " recomputed)");
+  }
+  const Pages used =
+      config_.kernel_reserved + anon_pool_ + file_clean_ + file_dirty_ + zram_physical_;
   if (used > config_.total) {
     fail("pools exceed physical memory by " + std::to_string(used - config_.total) + " pages");
   }

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/policy.hpp"
 #include "mem/process_registry.hpp"
 #include "mem/types.hpp"
 #include "sched/scheduler.hpp"
@@ -55,11 +56,14 @@ class MemoryManager {
   using AllocCallback = std::function<void(bool ok)>;
   using TrimListener = std::function<void(PressureLevel)>;
 
-  /// Scheduled mode: full CPU and I/O fidelity.
+  /// Scheduled mode: full CPU and I/O fidelity. `policy` selects the
+  /// reclaim/kill regime (DESIGN.md §16); the default is the baseline
+  /// Android model, byte-identical to the pre-policy manager.
   MemoryManager(sim::Engine& engine, MemoryConfig config, sched::Scheduler& scheduler,
-                storage::StorageDevice& storage, trace::Tracer& tracer);
+                storage::StorageDevice& storage, trace::Tracer& tracer,
+                const MemPolicySpec& policy = {});
   /// Immediate mode: reclaim is free and instant (field-study simulator).
-  MemoryManager(sim::Engine& engine, MemoryConfig config);
+  MemoryManager(sim::Engine& engine, MemoryConfig config, const MemPolicySpec& policy = {});
 
   MemoryManager(const MemoryManager&) = delete;
   MemoryManager& operator=(const MemoryManager&) = delete;
@@ -122,6 +126,13 @@ class MemoryManager {
   bool kswapd_active() const noexcept { return kswapd_active_; }
   sched::ThreadId kswapd_tid() const noexcept { return kswapd_tid_; }
   sched::ThreadId lmkd_tid() const noexcept { return lmkd_tid_; }
+  /// The active reclaim/kill policy bundle (MPOL snapshot section when
+  /// the policy carries state).
+  const MemPolicy& policy() const noexcept { return *policy_; }
+  MemPolicy& policy() noexcept { return *policy_; }
+  /// The kill rules the active policy declared — the observation surface
+  /// the lmkd-ordering oracle replays against.
+  const KillCharter& kill_charter() const noexcept { return policy_->charter(); }
 
   /// Subscribe to trim-signal deliveries (every transition into a
   /// non-Normal level). Listeners must outlive the manager or the run.
@@ -152,6 +163,8 @@ class MemoryManager {
     double pressure = 0.0;      ///< pressure_P() at decision
     Pages available = 0;        ///< available_pages() at decision
     Pages zram_stored = 0;
+    /// The deciding policy — replay-bisection divergence reports name it.
+    std::string policy_name = "baseline";
   };
   const std::vector<KillAudit>& kill_audits() const noexcept { return kill_audits_; }
 
@@ -183,10 +196,14 @@ class MemoryManager {
                         std::function<void()> next);
   void fault_file_pages(ProcessId pid, sched::ThreadId tid, Pages remaining, AllocCallback done);
 
-  /// Decide what one scan batch reclaims given current pool state, and
-  /// apply the instantly-free part. Writeback I/O is submitted here.
+  /// Ask the policy what one scan batch reclaims, apply the plan's
+  /// instantly-free part, and submit writeback I/O.
   ReclaimOutcome run_reclaim_batch(bool kswapd);
   void record_pressure(const ReclaimOutcome& outcome);
+  /// Recompute the cached zRAM physical footprint from the policy.
+  /// Called after every zram_stored_ mutation so free_pages() stays a
+  /// virtual-free pure arithmetic hot path.
+  void refresh_zram_physical() noexcept;
 
   void wake_kswapd();
   void kswapd_step();
@@ -208,6 +225,7 @@ class MemoryManager {
   sched::Scheduler* scheduler_ = nullptr;   // null in Immediate mode
   storage::StorageDevice* storage_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  std::unique_ptr<MemPolicy> policy_;
 
   ProcessRegistry registry_;
   VmStat vmstat_;
@@ -218,6 +236,7 @@ class MemoryManager {
   Pages file_dirty_ = 0;
   Pages dirty_in_flight_ = 0;  // subset of file_dirty_ being written back
   Pages zram_stored_ = 0;      // uncompressed pages stored in zRAM
+  Pages zram_physical_ = 0;    // cached policy_->reclaim().zram_physical(zram_stored_)
 
   double pressure_ema_ = 0.0;
   sim::Time last_pressure_sample_ = 0;

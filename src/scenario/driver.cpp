@@ -24,8 +24,8 @@ int severity(core::RunStatus status) {
 }  // namespace
 
 ScenarioDriver::ScenarioDriver(ScenarioSpec spec) : spec_(std::move(spec)) {
-  testbed_ = std::make_unique<core::Testbed>(device_for(spec_),
-                                             spec_.world_seed.value_or(spec_.seed));
+  testbed_ = std::make_unique<core::Testbed>(
+      device_for(spec_), spec_.world_seed.value_or(spec_.seed), spec_.mem_policy);
   // The scenario-level pressure regime comes first (it must be
   // established before any session starts — §4.1); the spec's workload
   // list follows in order. The legacy experiment always ran a synthetic

@@ -139,7 +139,10 @@ void require_serializable(const ScenarioSpec& scen) {
 
 void save_scenario(snapshot::ByteWriter& w, const ScenarioSpec& scen) {
   require_serializable(scen);
-  w.u32(2);  // section version (v1 = legacy single-video tuple)
+  // v2 = workload lists; v3 appends the memory-policy spec. A baseline
+  // scenario still writes v2, so every pre-policy blob and fingerprint
+  // stays byte-identical.
+  w.u32(scen.mem_policy.is_baseline() ? 2 : 3);
   w.str(scen.family);
   w.u8(static_cast<std::uint8_t>(scen.state));
   w.i32(scen.organic_background_apps);
@@ -170,6 +173,7 @@ void save_scenario(snapshot::ByteWriter& w, const ScenarioSpec& scen) {
       w.u8(static_cast<std::uint8_t>(pressure.target));
     }
   }
+  if (!scen.mem_policy.is_baseline()) mem::save_policy_spec(w, scen.mem_policy);
 }
 
 ScenarioSpec load_scenario(snapshot::ByteReader& r) {
@@ -188,7 +192,7 @@ ScenarioSpec load_scenario(snapshot::ByteReader& r) {
     return single_video(scen.family, height, fps, duration_s, scen.state, scen.seed,
                         std::move(plan));
   }
-  if (version != 2) throw std::runtime_error("snapshot: unsupported SCEN version");
+  if (version != 2 && version != 3) throw std::runtime_error("snapshot: unsupported SCEN version");
   ScenarioSpec scen;
   scen.family = r.str();
   scen.state = static_cast<mem::PressureLevel>(r.u8());
@@ -222,6 +226,10 @@ ScenarioSpec load_scenario(snapshot::ByteReader& r) {
     } else {
       throw std::runtime_error("snapshot: unknown workload kind in SCEN section");
     }
+  }
+  if (version >= 3) {
+    scen.mem_policy = mem::load_policy_spec(r);
+    mem::validate_policy_spec(scen.mem_policy);
   }
   find_family(scen.family);  // validate eagerly, before any sim is built
   return scen;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/run_spec.hpp"
+#include "mem/policy.hpp"
 #include "snapshot/bytes.hpp"
 
 namespace mvqoe::scenario {
@@ -86,6 +87,10 @@ struct ScenarioSpec {
   /// warm-start sweep's shared-world groups).
   std::optional<std::uint64_t> world_seed;
   bool run_watchdog = false;
+  /// Memory reclaim/kill policy the world runs (mem/policy.hpp). The
+  /// default (baseline) serializes as SCEN v2, byte-identical to
+  /// pre-policy blobs; anything else bumps the section to v3.
+  mem::MemPolicySpec mem_policy;
   std::vector<WorkloadSpec> workloads;
 };
 

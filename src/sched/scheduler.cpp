@@ -65,6 +65,8 @@ trace::ThreadState Scheduler::state(ThreadId tid) const { return thread(tid).sta
 
 const ThreadCounters& Scheduler::counters(ThreadId tid) const { return thread(tid).counters; }
 
+ProcessId Scheduler::pid_of(ThreadId tid) const { return thread(tid).spec.pid; }
+
 double Scheduler::vruntime(ThreadId tid) const { return thread(tid).vruntime; }
 
 SchedClass Scheduler::sched_class(ThreadId tid) const { return thread(tid).spec.sched_class; }

@@ -119,6 +119,8 @@ class Scheduler {
   bool exists(ThreadId tid) const;
   trace::ThreadState state(ThreadId tid) const;
   const ThreadCounters& counters(ThreadId tid) const;
+  /// Owning process of a thread (hotness attribution in mem policies).
+  ProcessId pid_of(ThreadId tid) const;
   std::size_t core_count() const noexcept { return cores_.size(); }
   /// Threads ever created; ids are dense starting at 1, so valid tids are
   /// exactly [1, thread_count()] (terminated ones included — check

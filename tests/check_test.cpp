@@ -47,13 +47,9 @@ WorldObservation clean_observation() {
   obs.mem.kswapd_active = false;
   obs.mem.kswapd_wakeups = 5;
   obs.mem.pressure = 10.0;
-  obs.mem.lmkd_kill_threshold = config.lmkd_kill_threshold;
-  obs.mem.lmkd_foreground_threshold = config.lmkd_foreground_threshold;
-  obs.mem.lmkd_background_adj_floor = config.lmkd_background_adj_floor;
-  obs.mem.minfree_cached = config.minfree_cached;
-  obs.mem.minfree_service = config.minfree_service;
-  obs.mem.minfree_perceptible = config.minfree_perceptible;
-  obs.mem.minfree_foreground = config.minfree_foreground;
+  // A default-constructed charter mirrors the default MemoryConfig
+  // (mem_policy_test pins that equivalence) — this IS baseline's rules.
+  obs.mem.charter = mem::KillCharter{};
   return obs;
 }
 
@@ -179,6 +175,99 @@ TEST(OracleCorruption, OomEscalationWithBackgroundAliveTripsOnlyLmkdOrder) {
   kill.max_killable_adj = mem::OomAdj::kCached;
   obs.new_kills.push_back(kill);
   expect_only(suite, obs, "lmkd-order");
+}
+
+// ---------- Per-policy corruption tests: the oracle follows the charter ------
+//
+// The same kill audit must be judged by whatever charter the world
+// publishes: legal under the policy that made the decision, a violation
+// under baseline's rules. One test per way a registered policy departs
+// from baseline Android.
+
+TEST(OraclePolicyCharter, FloorOnlyVictimLegalUnderSwamTripsBaseline) {
+  const mem::MemoryConfig config;
+  Audit kill = clean_lmkd_audit();
+  // swam scored a service victim while a cached one was alive — fine
+  // under FloorOnly, a victim-selection violation under HighestAdj.
+  kill.oom_adj = mem::OomAdj::kService;
+  kill.min_adj = mem::OomAdj::kService;
+  kill.max_killable_adj = mem::OomAdj::kCached;
+
+  check::OracleSuite swam_suite;
+  WorldObservation swam_obs = clean_observation();
+  swam_obs.mem.charter = mem::kill_charter_for({"swam", {}}, config);
+  swam_obs.new_kills.push_back(kill);
+  EXPECT_TRUE(swam_suite.check_all(swam_obs).empty());
+
+  check::OracleSuite baseline_suite;
+  WorldObservation baseline_obs = clean_observation();
+  baseline_obs.new_kills.push_back(kill);
+  expect_only(baseline_suite, baseline_obs, "lmkd-order");
+}
+
+TEST(OraclePolicyCharter, SwapFullKillLegalUnderSwamTripsBaseline) {
+  const mem::MemoryConfig config;
+  Audit kill = clean_lmkd_audit();
+  // Joint swap/kill decision: zRAM past the 0.85 fill fraction demands a
+  // background kill at quiet pressure. Baseline has no such band.
+  kill.pressure = 30.0;
+  kill.zram_stored = static_cast<mem::Pages>(0.9 * static_cast<double>(config.zram_capacity));
+  kill.min_adj = mem::OomAdj::kService;
+
+  check::OracleSuite swam_suite;
+  WorldObservation swam_obs = clean_observation();
+  swam_obs.mem.charter = mem::kill_charter_for({"swam", {}}, config);
+  swam_obs.new_kills.push_back(kill);
+  EXPECT_TRUE(swam_suite.check_all(swam_obs).empty());
+
+  check::OracleSuite baseline_suite;
+  WorldObservation baseline_obs = clean_observation();
+  baseline_obs.new_kills.push_back(kill);
+  expect_only(baseline_suite, baseline_obs, "lmkd-order");
+}
+
+TEST(OraclePolicyCharter, SwamCooldownIsStricterThanBaseline) {
+  const mem::MemoryConfig config;
+  // Two kills 200 ms apart: legal under baseline's 150 ms cooldown,
+  // forbidden under swam's 250 ms.
+  Audit first = clean_lmkd_audit();
+  Audit second = clean_lmkd_audit();
+  second.at = first.at + sim::msec(200);
+
+  check::OracleSuite baseline_suite;
+  WorldObservation baseline_obs = clean_observation();
+  baseline_obs.new_kills.push_back(first);
+  baseline_obs.new_kills.push_back(second);
+  EXPECT_TRUE(baseline_suite.check_all(baseline_obs).empty());
+
+  check::OracleSuite swam_suite;
+  WorldObservation swam_obs = clean_observation();
+  swam_obs.mem.charter = mem::kill_charter_for({"swam", {}}, config);
+  swam_obs.new_kills.push_back(first);
+  swam_obs.new_kills.push_back(second);
+  expect_only(swam_suite, swam_obs, "lmkd-order");
+}
+
+TEST(OraclePolicyCharter, ReservedLadderKillLegalUnderPartitionedTripsBaseline) {
+  const mem::MemoryConfig config;
+  Audit kill = clean_lmkd_audit();
+  // Available memory above Android's cached minfree level, but inside it
+  // once the 19 MB foreground reserve is spoken for: partitioned kills a
+  // cached app here, baseline must not kill at all.
+  kill.pressure = 30.0;
+  kill.available = mem::pages_from_mb(50);
+  kill.min_adj = mem::OomAdj::kCached;
+
+  check::OracleSuite partitioned_suite;
+  WorldObservation partitioned_obs = clean_observation();
+  partitioned_obs.mem.charter = mem::kill_charter_for({"partitioned", {}}, config);
+  partitioned_obs.new_kills.push_back(kill);
+  EXPECT_TRUE(partitioned_suite.check_all(partitioned_obs).empty());
+
+  check::OracleSuite baseline_suite;
+  WorldObservation baseline_obs = clean_observation();
+  baseline_obs.new_kills.push_back(kill);
+  expect_only(baseline_suite, baseline_obs, "lmkd-order");
 }
 
 trace::StateInterval make_interval(trace::ThreadId tid, sim::Time begin, sim::Time end,

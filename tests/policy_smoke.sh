@@ -1,0 +1,105 @@
+#!/bin/sh
+# Policy-lab CLI determinism smoke (ISSUE 9 acceptance scenario): the
+# same four-policy compare executed serially, under --procs 4, and
+# SIGKILLed partway (--kill-after-checkpoints) then resumed must print
+# the same compare digest and write byte-identical per-policy
+# BENCH_*.json lanes. The baseline lane must also match a plain
+# single-policy sweep of the same grid — the compare machinery may
+# never perturb the mechanism core.
+set -u
+
+POLICY="$1"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mvqoe_policy_smoke.XXXXXX")" || exit 1
+trap 'rm -rf "$WORK"' EXIT
+
+STATE="$WORK/policy.mvqs"
+SPEC="--duration 8 --runs 2 --seed 5 --states low --fps 30 --heights 480"
+
+digest_of() {
+  sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' "$1" | tail -1
+}
+
+echo "== uninterrupted serial compare =="
+mkdir -p "$WORK/serial"
+# shellcheck disable=SC2086
+MVQOE_JSON_DIR="$WORK/serial" "$POLICY" compare $SPEC --out lab \
+    > "$WORK/serial.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "serial compare failed with exit $status"
+  cat "$WORK/serial.log"
+  exit 1
+fi
+serial_digest=$(digest_of "$WORK/serial.log")
+echo "serial digest: $serial_digest"
+[ -n "$serial_digest" ] || { cat "$WORK/serial.log"; exit 1; }
+for lane in baseline swam ariadne partitioned; do
+  [ -f "$WORK/serial/BENCH_lab_$lane.json" ] || {
+    echo "missing BENCH_lab_$lane.json"
+    exit 1
+  }
+done
+
+echo "== --procs 4 compare =="
+mkdir -p "$WORK/procs"
+# shellcheck disable=SC2086
+MVQOE_JSON_DIR="$WORK/procs" "$POLICY" compare $SPEC --procs 4 --out lab \
+    > "$WORK/procs.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "procs compare failed with exit $status"
+  cat "$WORK/procs.log"
+  exit 1
+fi
+procs_digest=$(digest_of "$WORK/procs.log")
+echo "procs digest:  $procs_digest"
+if [ "$procs_digest" != "$serial_digest" ]; then
+  echo "DIGEST MISMATCH: serial=$serial_digest procs=$procs_digest"
+  exit 1
+fi
+for lane in baseline swam ariadne partitioned; do
+  cmp -s "$WORK/serial/BENCH_lab_$lane.json" "$WORK/procs/BENCH_lab_$lane.json" || {
+    echo "procs lane '$lane' differs from the serial lane"
+    exit 1
+  }
+done
+
+echo "== compare SIGKILLed after 1 checkpoint =="
+# shellcheck disable=SC2086
+"$POLICY" compare $SPEC --state "$STATE" --kill-after-checkpoints 1 \
+    > "$WORK/killed.log" 2>&1
+status=$?
+# 137 = 128 + SIGKILL: the coordinator must actually die, not exit.
+if [ $status -ne 137 ]; then
+  echo "expected the compare to die by SIGKILL (exit 137), got $status"
+  cat "$WORK/killed.log"
+  exit 1
+fi
+[ -f "$STATE" ] || { echo "no checkpoint at $STATE"; exit 1; }
+
+echo "== resume from the checkpoint (grid comes from the blob) =="
+mkdir -p "$WORK/resumed"
+MVQOE_JSON_DIR="$WORK/resumed" "$POLICY" compare --resume "$STATE" --out lab \
+    > "$WORK/resume.log" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+  echo "resume failed with exit $status"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+resumed_digest=$(digest_of "$WORK/resume.log")
+echo "resumed digest: $resumed_digest"
+if [ "$resumed_digest" != "$serial_digest" ]; then
+  echo "DIGEST MISMATCH: serial=$serial_digest resumed=$resumed_digest"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+for lane in baseline swam ariadne partitioned; do
+  cmp -s "$WORK/serial/BENCH_lab_$lane.json" "$WORK/resumed/BENCH_lab_$lane.json" || {
+    echo "resumed lane '$lane' differs from the serial lane"
+    exit 1
+  }
+done
+
+echo "OK: serial, --procs and kill-and-resume are byte-identical"
+exit 0

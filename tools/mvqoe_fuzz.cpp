@@ -51,11 +51,14 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "campaign/fuzz_campaign.hpp"
 #include "campaign/progress.hpp"
 #include "campaign/signal.hpp"
 #include "check/harness.hpp"
 #include "check/shrink.hpp"
+#include "mem/policy.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -66,8 +69,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: mvqoe_fuzz [--seed N] [--runs N] [--jobs N] [--out DIR]\n"
                "                  [--max-videos N] [--max-duration S] [--no-meta]\n"
-               "                  [--perturb-run K] [--perturb-at S] [--minutes N]\n"
-               "                  [--progress]\n"
+               "                  [--policy NAME[,NAME...]] [--perturb-run K]\n"
+               "                  [--perturb-at S] [--minutes N] [--progress]\n"
                "       mvqoe_fuzz --procs N [--state FILE] [--shard-size N] [--retries N]\n"
                "                  [--heartbeat-ms N] [--backoff-ms N] [common flags]\n"
                "       mvqoe_fuzz --resume FILE [--procs N]\n"
@@ -84,6 +87,8 @@ struct Args {
   std::string repro_path;
   int max_videos = 3;
   int max_duration = 8;
+  /// Memory-policy axis for generated worlds; empty = baseline only.
+  std::vector<std::string> policies;
   bool meta = true;
   int perturb_run = -1;
   int perturb_at_s = 2;
@@ -135,6 +140,18 @@ Args parse_args(int argc, char** argv) {
       args.max_videos = std::atoi(value(i));
     } else if (is_flag(i, "--max-duration")) {
       args.max_duration = std::atoi(value(i));
+    } else if (is_flag(i, "--policy")) {
+      std::string csv = value(i);
+      std::size_t start = 0;
+      while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string name = csv.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!name.empty()) args.policies.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (args.policies.empty()) args.ok = false;
     } else if (is_flag(i, "--no-meta")) {
       args.meta = false;
     } else if (is_flag(i, "--perturb-run")) {
@@ -188,6 +205,7 @@ check::FuzzOptions fuzz_options(const Args& args, std::uint64_t seed) {
   opts.jobs = args.jobs;
   opts.generator.max_videos = args.max_videos;
   opts.generator.max_duration_s = args.max_duration;
+  opts.generator.policies = args.policies;
   opts.check.meta_determinism = args.meta;
   opts.perturb_run = args.perturb_run;
   opts.perturb_offset = sim::sec(args.perturb_at_s);
@@ -386,6 +404,9 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (!args.ok) return usage();
   try {
+    for (const std::string& name : args.policies) {
+      mvqoe::mem::validate_policy_spec({name, {}});
+    }
     if (!args.repro_path.empty()) return cmd_repro(args);
     if (args.procs > 0 || !args.state_path.empty() || !args.resume_path.empty()) {
       return cmd_campaign(args);

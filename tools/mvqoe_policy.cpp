@@ -1,28 +1,29 @@
-// mvqoe_campaign — crash-safe multi-process bench/sweep campaigns.
+// mvqoe_policy — the "what if Android did X" reclaim/kill policy lab.
 //
-//   mvqoe_campaign sweep [--family F] [--duration S] [--organic N]
-//                        [--states s1,s2,...] [--fps n1,n2,...]
+//   mvqoe_policy compare [--policies p1,p2,...] [--family F] [--duration S]
+//                        [--organic N] [--states s1,s2,...] [--fps n1,n2,...]
 //                        [--heights h1,h2,...] [--runs N] [--seed N]
 //                        [--procs N] [--group-workers N] [--state FILE]
 //                        [--shard-size N] [--retries N] [--heartbeat-ms N]
-//                        [--backoff-ms N] [--out NAME]
-//       Run a warm-start sweep grid (states x fps x heights, `runs`
-//       repetitions per cell) as a supervised multi-process campaign
-//       (DESIGN.md §13). One campaign unit is one (state, run) group:
-//       the worker prepares the group's shared boot+pressure world once
-//       and forks each (fps, height) cell's video phase from it — the
-//       CoW warm-start machinery of runner/warm_sweep. Crashed or hung
-//       workers are SIGKILLed and retried with exponential backoff;
-//       with --state every completed group is checkpointed atomically.
-//       --out writes the grid as BENCH_<NAME>.json (the same payload
-//       runner::write_sweep_json produces, byte-identical to an
-//       in-process run of the same grid).
+//                        [--backoff-ms N] [--out NAME] [--progress]
+//       Run the SAME warm-start sweep grid once per memory policy
+//       (DESIGN.md §16): every policy lane boots identically-seeded
+//       device worlds (the sweep_group_seed scheme is policy-blind) and
+//       differs only in how its reclaim/kill policy responds, so the
+//       per-lane QoE deltas are attributable to the policy alone. Runs
+//       as a supervised multi-process campaign; one campaign unit is one
+//       (policy, state, run) warm-sweep group. The summary digest is
+//       invariant to --procs/--group-workers and to kill-and-resume.
+//       --out writes one BENCH_<NAME>_<policy>.json grid per lane.
 //
-//   mvqoe_campaign sweep --resume FILE [--procs N] [--group-workers N]
-//       Resume a killed campaign: the grid is reconstructed from the
-//       checkpoint (a checkpoint recorded under a different grid is
-//       refused), only the missing groups run, and the digest and BENCH
-//       json are byte-identical to an uninterrupted run.
+//   mvqoe_policy compare --resume FILE [--procs N] [--group-workers N]
+//       Resume a killed compare from its checkpoint (a checkpoint
+//       recorded under a different grid or policy list is refused); the
+//       digest and lane output are byte-identical to an uninterrupted
+//       run.
+//
+//   mvqoe_policy list
+//       Print the registered policy names.
 //
 // Exit status: 0 complete, 2 usage or I/O errors, 3 campaign degraded
 // (a shard exhausted its retry budget), 128+signo interrupted with the
@@ -34,9 +35,9 @@
 #include <string>
 #include <vector>
 
+#include "campaign/policy_campaign.hpp"
 #include "campaign/progress.hpp"
 #include "campaign/signal.hpp"
-#include "campaign/sweep_campaign.hpp"
 #include "runner/video_batch.hpp"
 
 namespace {
@@ -45,16 +46,18 @@ using namespace mvqoe;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mvqoe_campaign sweep [--family F] [--duration S] [--organic N]\n"
+               "usage: mvqoe_policy compare [--policies p1,p2,...] [--family F]\n"
+               "                            [--duration S] [--organic N]\n"
                "                            [--states s1,s2,...] [--fps n1,n2,...]\n"
                "                            [--heights h1,h2,...] [--runs N] [--seed N]\n"
-               "                            [--policy NAME] [--procs N] [--group-workers N]\n"
-               "                            [--state FILE] [--shard-size N] [--retries N]\n"
-               "                            [--heartbeat-ms N] [--backoff-ms N] [--out NAME]\n"
-               "                            [--progress]\n"
-               "       mvqoe_campaign sweep --resume FILE [--procs N] [--group-workers N]\n"
+               "                            [--procs N] [--group-workers N] [--state FILE]\n"
+               "                            [--shard-size N] [--retries N]\n"
+               "                            [--heartbeat-ms N] [--backoff-ms N]\n"
+               "                            [--out NAME] [--progress]\n"
+               "       mvqoe_policy compare --resume FILE [--procs N] [--group-workers N]\n"
+               "       mvqoe_policy list\n"
                "states: normal moderate low critical\n"
-               "--progress paints a done/total + units/sec + ETA line on stderr\n");
+               "policies: baseline swam ariadne partitioned (default: all)\n");
   return 2;
 }
 
@@ -65,6 +68,16 @@ bool parse_state(const std::string& s, mem::PressureLevel& out) {
   else if (s == "critical") out = mem::PressureLevel::Critical;
   else return false;
   return true;
+}
+
+const char* state_name(mem::PressureLevel state) {
+  switch (state) {
+    case mem::PressureLevel::Normal: return "normal";
+    case mem::PressureLevel::Moderate: return "moderate";
+    case mem::PressureLevel::Low: return "low";
+    case mem::PressureLevel::Critical: return "critical";
+  }
+  return "?";
 }
 
 std::vector<std::string> split_csv(const std::string& value) {
@@ -83,11 +96,11 @@ std::vector<std::string> split_csv(const std::string& value) {
 }
 
 struct Args {
-  campaign::SweepCampaignSpec spec;
+  campaign::PolicyCompareSpec spec;
   int procs = 1;
   std::string state_path;
   std::string resume_path;
-  int shard_size = 1;  // one (state, run) group per shard by default
+  int shard_size = 1;  // one (policy, state, run) group per shard
   int retries = 3;
   int heartbeat_ms = 120000;
   int backoff_ms = 100;
@@ -101,6 +114,15 @@ struct Args {
 
 Args parse_args(int argc, char** argv) {
   Args args;
+  // Compact compare defaults: the policy axis is the point, the grid is
+  // one representative cell ladder.
+  args.spec.base.duration_s = 12;
+  args.spec.base.states = {mem::PressureLevel::Low};
+  args.spec.base.fps = {30};
+  args.spec.base.heights = {480};
+  for (const std::string& name : mem::mem_policy_names()) {
+    args.spec.policies.push_back({name, {}});
+  }
   const auto value = [&](int& i) -> const char* {
     const char* eq = std::strchr(argv[i], '=');
     if (eq != nullptr) return eq + 1;
@@ -115,40 +137,50 @@ Args parse_args(int argc, char** argv) {
     return std::strncmp(argv[i], name, len) == 0 && (argv[i][len] == '\0' || argv[i][len] == '=');
   };
   for (int i = 2; i < argc && args.ok; ++i) {
-    if (is_flag(i, "--family")) {
-      args.spec.family = value(i);
+    if (is_flag(i, "--policies")) {
+      args.spec.policies.clear();
+      for (const std::string& name : split_csv(value(i))) {
+        if (name.empty()) {
+          args.ok = false;
+          break;
+        }
+        args.spec.policies.push_back({name, {}});
+      }
+      if (args.spec.policies.empty()) args.ok = false;
+    } else if (is_flag(i, "--family")) {
+      args.spec.base.family = value(i);
     } else if (is_flag(i, "--duration")) {
-      args.spec.duration_s = std::atoi(value(i));
+      args.spec.base.duration_s = std::atoi(value(i));
     } else if (is_flag(i, "--organic")) {
-      args.spec.organic_apps = std::atoi(value(i));
+      args.spec.base.organic_apps = std::atoi(value(i));
     } else if (is_flag(i, "--states")) {
-      args.spec.states.clear();
+      args.spec.base.states.clear();
       for (const std::string& name : split_csv(value(i))) {
         mem::PressureLevel state{};
         if (!parse_state(name, state)) {
           args.ok = false;
           break;
         }
-        args.spec.states.push_back(state);
+        args.spec.base.states.push_back(state);
       }
     } else if (is_flag(i, "--fps")) {
-      args.spec.fps.clear();
-      for (const std::string& f : split_csv(value(i))) args.spec.fps.push_back(std::atoi(f.c_str()));
+      args.spec.base.fps.clear();
+      for (const std::string& f : split_csv(value(i))) {
+        args.spec.base.fps.push_back(std::atoi(f.c_str()));
+      }
     } else if (is_flag(i, "--heights")) {
-      args.spec.heights.clear();
+      args.spec.base.heights.clear();
       for (const std::string& h : split_csv(value(i))) {
-        args.spec.heights.push_back(std::atoi(h.c_str()));
+        args.spec.base.heights.push_back(std::atoi(h.c_str()));
       }
     } else if (is_flag(i, "--runs")) {
-      args.spec.runs = std::atoi(value(i));
-    } else if (is_flag(i, "--policy")) {
-      args.spec.mem_policy.name = value(i);
+      args.spec.base.runs = std::atoi(value(i));
     } else if (is_flag(i, "--seed")) {
-      args.spec.seed = std::strtoull(value(i), nullptr, 0);
+      args.spec.base.seed = std::strtoull(value(i), nullptr, 0);
     } else if (is_flag(i, "--procs")) {
       args.procs = std::atoi(value(i));
     } else if (is_flag(i, "--group-workers")) {
-      args.spec.group_workers = std::atoi(value(i));
+      args.spec.base.group_workers = std::atoi(value(i));
     } else if (is_flag(i, "--state")) {
       args.state_path = value(i);
     } else if (is_flag(i, "--resume")) {
@@ -183,15 +215,38 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-int cmd_sweep(const Args& args) {
-  campaign::SweepCampaignSpec spec = args.spec;
+/// One deterministic line per (lane, state): the compare's readable
+/// output, aggregated across the state's (fps, height) cells.
+void print_lane(const campaign::PolicyLane& lane,
+                const std::vector<mem::PressureLevel>& states, std::size_t cells_per_state) {
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    qoe::RunAggregate rollup;
+    std::size_t failures = 0;
+    for (std::size_t c = 0; c < cells_per_state; ++c) {
+      const runner::SweepCellResult& cell = lane.cells[s * cells_per_state + c];
+      for (const qoe::RunOutcome& outcome : cell.aggregate.outcomes()) rollup.add(outcome);
+      failures += cell.failures;
+    }
+    const stats::MeanCi drop = rollup.drop_rate();
+    const stats::MeanCi rebuffers = rollup.rebuffer_events();
+    const stats::MeanCi peak = rollup.peak_pss_mb();
+    std::printf("policy=%s state=%s runs=%zu drop=%.4f%%+-%.4f crash=%.2f%% relaunch=%.2f%% "
+                "rebuffers=%.3f peak_pss=%.2fMB failures=%zu\n",
+                lane.policy.name.c_str(), state_name(states[s]), rollup.runs(),
+                drop.mean * 100.0, drop.ci95 * 100.0, rollup.crash_rate_percent(),
+                rollup.relaunch_rate_percent(), rebuffers.mean, peak.mean, failures);
+  }
+}
+
+int cmd_compare(const Args& args) {
+  campaign::PolicyCompareSpec spec = args.spec;
   if (!args.resume_path.empty()) {
-    const int group_workers = spec.group_workers;
-    spec = campaign::load_sweep_resume_config(args.resume_path);
-    spec.group_workers = group_workers;
-    std::printf("resume: %s (family=%s %zu states x %zu fps x %zu heights, %d run(s))\n",
-                args.resume_path.c_str(), spec.family.c_str(), spec.states.size(),
-                spec.fps.size(), spec.heights.size(), spec.runs);
+    const int group_workers = spec.base.group_workers;
+    spec = campaign::load_policy_resume_config(args.resume_path);
+    spec.base.group_workers = group_workers;
+    std::printf("resume: %s (family=%s %zu policies x %zu states, %d run(s))\n",
+                args.resume_path.c_str(), spec.base.family.c_str(), spec.policies.size(),
+                spec.base.states.size(), spec.base.runs);
   }
 
   campaign::CampaignOptions copts;
@@ -216,9 +271,9 @@ int cmd_sweep(const Args& args) {
     };
   }
 
-  const campaign::SweepCampaignResult result = campaign::run_sweep_campaign(spec, copts);
+  const campaign::PolicyCompareResult result = campaign::run_policy_compare(spec, copts);
   meter.finish();
-  const std::uint64_t total = campaign::sweep_total_units(spec);
+  const std::uint64_t total = campaign::policy_total_units(spec);
 
   if (result.campaign.units_from_checkpoint > 0) {
     std::printf("resumed: %llu/%llu groups from checkpoint, %llu executed\n",
@@ -252,24 +307,38 @@ int cmd_sweep(const Args& args) {
     return guard.exit_code();
   }
 
-  std::printf("sweep campaign: %zu cells x %d run(s), %llu/%llu groups, procs=%d "
-              "digest=%016llx\n",
-              result.cells.size(), spec.runs,
+  const std::size_t cells_per_state = spec.base.fps.size() * spec.base.heights.size();
+  for (const campaign::PolicyLane& lane : result.lanes) {
+    print_lane(lane, spec.base.states, cells_per_state);
+  }
+  std::printf("policy compare: %zu policies x %zu cells x %d run(s), %llu/%llu groups, "
+              "procs=%d digest=%016llx\n",
+              spec.policies.size(), cells_per_state * spec.base.states.size(), spec.base.runs,
               static_cast<unsigned long long>(result.campaign.units_done),
               static_cast<unsigned long long>(total), result.campaign.procs_used,
               static_cast<unsigned long long>(result.digest));
   if (!args.out_name.empty()) {
-    const std::string path = runner::write_sweep_json(args.out_name, result.cells, spec.runs,
-                                                      result.campaign.procs_used, spec.seed);
-    if (path.empty()) {
-      std::fprintf(stderr, "mvqoe_campaign: cannot write BENCH_%s.json\n",
-                   args.out_name.c_str());
-      return 2;
+    for (const campaign::PolicyLane& lane : result.lanes) {
+      const std::string bench_name = args.out_name + "_" + lane.policy.name;
+      // Lane JSON is a result artifact: it must be byte-identical across
+      // serial, --procs and kill-and-resume, so it always records the
+      // canonical serial form rather than this run's procs_used.
+      const std::string path = runner::write_sweep_json(bench_name, lane.cells, spec.base.runs,
+                                                        /*jobs_used=*/1, spec.base.seed);
+      if (path.empty()) {
+        std::fprintf(stderr, "mvqoe_policy: cannot write BENCH_%s.json\n", bench_name.c_str());
+        return 2;
+      }
+      std::printf("machine-readable: %s\n", path.c_str());
     }
-    std::printf("machine-readable: %s\n", path.c_str());
   }
   std::fflush(stdout);
   return result.campaign.complete ? 0 : 3;
+}
+
+int cmd_list() {
+  for (const std::string& name : mem::mem_policy_names()) std::printf("%s\n", name.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -277,12 +346,13 @@ int cmd_sweep(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "list") return cmd_list();
   const Args args = parse_args(argc, argv);
   if (!args.ok) return usage();
   try {
-    if (command == "sweep") return cmd_sweep(args);
+    if (command == "compare") return cmd_compare(args);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "mvqoe_campaign: %s\n", e.what());
+    std::fprintf(stderr, "mvqoe_policy: %s\n", e.what());
     return 2;
   }
   return usage();
