@@ -26,12 +26,19 @@ std::string encode_fuzz_config(const check::FuzzOptions& opts) {
   w.u64(opts.check.livelock_limit);
   w.i32(opts.perturb_run);
   w.i64(opts.perturb_offset);
-  // Optional tail (still config version 1): the generator's policy axis,
-  // written only when set so historical checkpoints keep their
-  // fingerprints.
-  if (!opts.generator.policies.empty()) {
+  // Optional tails (still config version 1), written only when set so
+  // historical checkpoints keep their fingerprints. The cc tail sits
+  // after the policy tail, so a non-empty cc axis forces the policy
+  // count out even when empty (the decoder reads them in order).
+  const bool has_ccs = !opts.generator.ccs.empty();
+  if (!opts.generator.policies.empty() || has_ccs) {
     w.u32(static_cast<std::uint32_t>(opts.generator.policies.size()));
     for (const std::string& name : opts.generator.policies) w.str(name);
+  }
+  if (has_ccs) {
+    w.u32(static_cast<std::uint32_t>(opts.generator.ccs.size()));
+    for (const std::string& name : opts.generator.ccs) w.str(name);
+    w.f64(opts.generator.cross_traffic_probability);
   }
   return std::move(w).take();
 }
@@ -66,6 +73,14 @@ check::FuzzOptions decode_fuzz_config(const std::string& bytes) {
     for (std::uint32_t i = 0; i < policy_count; ++i) {
       opts.generator.policies.push_back(r.str());
     }
+  }
+  if (!r.done()) {
+    const std::uint32_t cc_count = r.u32();
+    opts.generator.ccs.reserve(cc_count);
+    for (std::uint32_t i = 0; i < cc_count; ++i) {
+      opts.generator.ccs.push_back(r.str());
+    }
+    opts.generator.cross_traffic_probability = r.f64();
   }
   if (!r.done()) {
     throw std::runtime_error("campaign: trailing bytes after the fuzz config");

@@ -17,6 +17,7 @@ scenario::ScenarioSpec sweep_proto(const SweepCampaignSpec& spec) {
   proto.family = spec.family;
   proto.organic_background_apps = spec.organic_apps;
   proto.mem_policy = spec.mem_policy;
+  proto.net = spec.net;
   scenario::VideoWorkloadSpec session;
   session.duration_s = spec.duration_s;
   proto.workloads.emplace_back(std::move(session));
@@ -32,6 +33,7 @@ void validate(const SweepCampaignSpec& spec) {
     throw std::invalid_argument("campaign: sweep duration must be >= 1s");
   }
   mem::validate_policy_spec(spec.mem_policy);
+  net::validate_net_spec(spec.net);
 }
 
 }  // namespace
@@ -54,10 +56,14 @@ std::string encode_sweep_config(const SweepCampaignSpec& spec) {
   for (const int h : spec.heights) w.i32(h);
   w.i32(spec.runs);
   w.u64(spec.seed);
-  // Optional tail (still config version 1): the memory policy, written
-  // only when non-baseline so historical checkpoints keep their
-  // fingerprints.
-  if (!spec.mem_policy.is_baseline()) mem::save_policy_spec(w, spec.mem_policy);
+  // Optional tails (still config version 1), written only when
+  // non-default so historical checkpoints keep their fingerprints. The
+  // net tail follows the policy tail, so a non-fifo link forces the
+  // policy spec out even at baseline (the decoder reads them in order).
+  if (!spec.mem_policy.is_baseline() || !spec.net.is_default()) {
+    mem::save_policy_spec(w, spec.mem_policy);
+  }
+  if (!spec.net.is_default()) net::save_net_spec(w, spec.net);
   return std::move(w).take();
 }
 
@@ -91,6 +97,7 @@ SweepCampaignSpec decode_sweep_config(const std::string& bytes) {
   spec.runs = r.i32();
   spec.seed = r.u64();
   if (!r.done()) spec.mem_policy = mem::load_policy_spec(r);
+  if (!r.done()) spec.net = net::load_net_spec(r);
   if (!r.done()) {
     throw std::runtime_error("campaign: trailing bytes after the sweep config");
   }

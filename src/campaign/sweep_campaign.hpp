@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "campaign/coordinator.hpp"
+#include "net/cc.hpp"
 #include "runner/warm_sweep.hpp"
 
 namespace mvqoe::campaign {
@@ -38,6 +39,9 @@ struct SweepCampaignSpec {
   /// (the default) encodes to nothing, so historical checkpoint
   /// fingerprints are unchanged.
   mem::MemPolicySpec mem_policy;
+  /// Link congestion controller every world in the grid runs. The fifo
+  /// default likewise encodes to nothing.
+  net::NetSpec net;
   /// Forked video-phase workers inside each group worker.
   int group_workers = 1;
 };

@@ -114,6 +114,25 @@ scenario::ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorConf
         0, static_cast<std::int64_t>(config.policies.size()) - 1)];
   }
 
+  // Congestion-control axis after policies, same default-draws-nothing
+  // rule. A non-fifo link may also carry competing cross traffic.
+  if (!config.ccs.empty()) {
+    scen.net.cc =
+        config.ccs[rng.uniform_int(0, static_cast<std::int64_t>(config.ccs.size()) - 1)];
+    if (scen.net.cc != "fifo" && rng.bernoulli(config.cross_traffic_probability)) {
+      scenario::CrossTrafficWorkloadSpec cross;
+      cross.label = "cross";
+      cross.bulk_flows = static_cast<int>(rng.uniform_int(0, 2));
+      cross.onoff_flows = static_cast<int>(rng.uniform_int(0, 2));
+      if (cross.bulk_flows == 0 && cross.onoff_flows == 0) cross.bulk_flows = 1;
+      cross.on_s = static_cast<int>(rng.uniform_int(1, 3));
+      cross.off_s = static_cast<int>(rng.uniform_int(1, 3));
+      cross.chunk_bytes = static_cast<std::uint64_t>(rng.uniform_int(256 * 1024, 2 * 1024 * 1024));
+      cross.seed = rng.next();
+      scen.workloads.emplace_back(std::move(cross));
+    }
+  }
+
   return scen;
 }
 

@@ -32,6 +32,13 @@ struct GeneratorConfig {
   /// Empty (the default) pins the baseline and draws nothing from the
   /// RNG, so historical (seed, i) -> spec mappings are unchanged.
   std::vector<std::string> policies;
+  /// Congestion-control axis: each generated world picks one controller
+  /// name uniformly and may add a cross-traffic workload. Empty (the
+  /// default) pins the serial fifo link and draws nothing from the RNG.
+  std::vector<std::string> ccs;
+  /// Probability that a cc-mode world carries competing cross-traffic
+  /// flows on the bottleneck (only consulted when ccs is non-empty).
+  double cross_traffic_probability = 0.4;
 };
 
 /// Deterministic: same (seed, config) -> identical spec, always

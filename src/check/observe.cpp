@@ -36,6 +36,26 @@ WorldObservation WorldObserver::observe(const scenario::ScenarioDriver& driver, 
   obs.mem.conservation_detail = conservation.detail;
   obs.mem.charter = memory.kill_charter();
 
+  const net::Link& link = bed.link;
+  obs.net.cc_mode = link.cc_mode();
+  if (link.cc_mode()) {
+    obs.net.cc = link.net().cc;
+    obs.net.bytes_delivered = link.bytes_delivered();
+    obs.net.retired_delivered = link.retired_delivered();
+    obs.net.backlog_bytes = link.backlog_bytes();
+    obs.net.queue_capacity_bytes = link.queue_capacity_bytes();
+    for (const net::FlowStats& fs : link.flow_stats()) {
+      NetFlowObs f;
+      f.id = fs.id;
+      f.total_bytes = fs.total_bytes;
+      f.delivered_bytes = fs.delivered_bytes;
+      f.inflight_bytes = fs.inflight_bytes;
+      f.cwnd_bytes = fs.cwnd_bytes;
+      f.pacing_bytes_per_usec = fs.pacing_bytes_per_usec;
+      obs.net.flows.push_back(f);
+    }
+  }
+
   obs.threads.reserve(scheduler.thread_count());
   for (sched::ThreadId tid = 1; tid <= scheduler.thread_count(); ++tid) {
     ThreadObs t;

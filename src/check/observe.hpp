@@ -70,12 +70,34 @@ struct EngineObs {
   std::uint64_t livelock_trips = 0;
 };
 
+struct NetFlowObs {
+  std::uint64_t id = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t inflight_bytes = 0;
+  double cwnd_bytes = 0.0;
+  double pacing_bytes_per_usec = 0.0;
+};
+
+struct NetObs {
+  /// False on the serial fifo link; the net oracles only engage when a
+  /// congestion-controlled flow engine is actually running.
+  bool cc_mode = false;
+  std::string cc;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t retired_delivered = 0;
+  std::uint64_t backlog_bytes = 0;
+  std::uint64_t queue_capacity_bytes = 0;
+  std::vector<NetFlowObs> flows;
+};
+
 struct WorldObservation {
   sim::Time at = 0;
   sim::Time offset = 0;  ///< from video start
   bool final_obs = false;
   EngineObs engine;
   MemObs mem;
+  NetObs net;
   std::vector<ThreadObs> threads;
   /// Tracer state intervals closed since the previous observation.
   std::vector<trace::StateInterval> new_intervals;

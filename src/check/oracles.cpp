@@ -1,6 +1,7 @@
 #include "check/oracles.hpp"
 
 #include <climits>
+#include <cmath>
 #include <sstream>
 
 namespace mvqoe::check {
@@ -273,6 +274,69 @@ std::optional<Violation> EngineOracle::check(const WorldObservation& obs) {
   return std::nullopt;
 }
 
+// --- Net oracles ------------------------------------------------------------
+
+std::optional<Violation> NetConservationOracle::check(const WorldObservation& obs) {
+  if (!obs.net.cc_mode) return std::nullopt;
+  std::uint64_t live = 0;
+  for (const NetFlowObs& f : obs.net.flows) live += f.delivered_bytes;
+  if (obs.net.retired_delivered + live != obs.net.bytes_delivered) {
+    std::ostringstream why;
+    why << "net byte conservation broken: retired " << obs.net.retired_delivered << " + live "
+        << live << " != link delivered " << obs.net.bytes_delivered;
+    return make(obs, name(), why.str());
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> NetQueueOracle::check(const WorldObservation& obs) {
+  if (!obs.net.cc_mode) return std::nullopt;
+  if (obs.net.backlog_bytes > obs.net.queue_capacity_bytes) {
+    std::ostringstream why;
+    why << "bottleneck backlog " << obs.net.backlog_bytes << " exceeds droptail capacity "
+        << obs.net.queue_capacity_bytes;
+    return make(obs, name(), why.str());
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> NetCwndOracle::check(const WorldObservation& obs) {
+  if (!obs.net.cc_mode) return std::nullopt;
+  constexpr double kCwndCeiling = 64.0 * 1024.0 * 1024.0;
+  for (const NetFlowObs& f : obs.net.flows) {
+    std::ostringstream why;
+    // The fifo controller reports cwnd 0 (no window); every real
+    // controller clamps to at least one packet.
+    if (obs.net.cc != "fifo" && (f.cwnd_bytes < 1.0 || f.cwnd_bytes > kCwndCeiling)) {
+      why << "flow " << f.id << ": cwnd " << f.cwnd_bytes << " outside [1 pkt, 64 MiB]";
+    } else if (!(f.pacing_bytes_per_usec >= 0.0) ||
+               !std::isfinite(f.pacing_bytes_per_usec)) {
+      why << "flow " << f.id << ": pacing rate " << f.pacing_bytes_per_usec
+          << " negative or non-finite";
+    }
+    if (!why.str().empty()) return make(obs, name(), why.str());
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> NetProgressOracle::check(const WorldObservation& obs) {
+  if (!obs.net.cc_mode) return std::nullopt;
+  for (const NetFlowObs& f : obs.net.flows) {
+    std::ostringstream why;
+    auto it = last_delivered_.find(f.id);
+    if (f.delivered_bytes > f.total_bytes) {
+      why << "flow " << f.id << ": delivered " << f.delivered_bytes << " exceeds transfer size "
+          << f.total_bytes;
+    } else if (it != last_delivered_.end() && f.delivered_bytes < it->second) {
+      why << "flow " << f.id << ": delivered went backwards " << it->second << " -> "
+          << f.delivered_bytes;
+    }
+    if (!why.str().empty()) return make(obs, name(), why.str());
+    last_delivered_[f.id] = f.delivered_bytes;
+  }
+  return std::nullopt;
+}
+
 // --- OracleSuite ------------------------------------------------------------
 
 OracleSuite::OracleSuite() {
@@ -284,6 +348,10 @@ OracleSuite::OracleSuite() {
   oracles_.push_back(std::make_unique<SchedStateOracle>());
   oracles_.push_back(std::make_unique<VruntimeOracle>());
   oracles_.push_back(std::make_unique<VideoFrameOracle>());
+  oracles_.push_back(std::make_unique<NetConservationOracle>());
+  oracles_.push_back(std::make_unique<NetQueueOracle>());
+  oracles_.push_back(std::make_unique<NetCwndOracle>());
+  oracles_.push_back(std::make_unique<NetProgressOracle>());
 }
 
 std::optional<Violation> OracleSuite::check(const WorldObservation& obs) {

@@ -142,6 +142,42 @@ class EngineOracle final : public Oracle {
   std::optional<Violation> check(const WorldObservation& obs) override;
 };
 
+/// Byte conservation on the congestion-controlled link: bytes delivered
+/// by retired flows plus every live flow's delivered count must equal
+/// the link's cumulative bytes_delivered. Inert in fifo mode.
+class NetConservationOracle final : public Oracle {
+ public:
+  std::string name() const override { return "net-conservation"; }
+  std::optional<Violation> check(const WorldObservation& obs) override;
+};
+
+/// Droptail bound: the modeled bottleneck backlog never exceeds the
+/// configured queue capacity (admission must drop, not grow the queue).
+class NetQueueOracle final : public Oracle {
+ public:
+  std::string name() const override { return "net-queue"; }
+  std::optional<Violation> check(const WorldObservation& obs) override;
+};
+
+/// Controller sanity per flow: the congestion window stays within
+/// [one packet, 64 MiB] and the pacing rate is non-negative and finite.
+class NetCwndOracle final : public Oracle {
+ public:
+  std::string name() const override { return "net-cwnd"; }
+  std::optional<Violation> check(const WorldObservation& obs) override;
+};
+
+/// Monotone per-flow progress: a flow's delivered byte count never goes
+/// backwards and never exceeds its transfer size.
+class NetProgressOracle final : public Oracle {
+ public:
+  std::string name() const override { return "net-progress"; }
+  std::optional<Violation> check(const WorldObservation& obs) override;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> last_delivered_;
+};
+
 /// The full per-run suite. check() returns the first violation found
 /// this slice; check_all() returns every oracle that trips (the
 /// corruption tests assert |check_all| == 1).

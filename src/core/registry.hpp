@@ -11,10 +11,12 @@
 // Ordering keys reproduce the legacy section order byte-for-byte:
 //   0-5    ENGN SCHD MEMM LINK STOR PROC  (Testbed constructor)
 //   6      MPOL            memory policy, only when it carries state
+//   7      NETC            congestion-control spec, only when cc != fifo
 //   10+2k  VIDE/VID1/...   k-th video session
 //   11+2k  FALT/FLT1/...   k-th session's fault injector
 //   100    SYSA            system activity (registered at boot)
 //   110+j  INDC/IND1/...   j-th pressure inducer
+//   130+i  XTRC/XTR1/...   i-th cross-traffic workload
 #pragma once
 
 #include <cstdint>

@@ -1,14 +1,16 @@
 #include "core/testbed.hpp"
 
 #include "core/system_activity.hpp"
+#include "snapshot/digest.hpp"
 
 namespace mvqoe::core {
 
-Testbed::Testbed(DeviceProfile profile, std::uint64_t seed, mem::MemPolicySpec mem_policy)
+Testbed::Testbed(DeviceProfile profile, std::uint64_t seed, mem::MemPolicySpec mem_policy,
+                 net::NetSpec net)
     : scheduler(engine, tracer, profile.scheduler),
       storage(engine, scheduler, profile.storage),
       memory(engine, profile.memory, scheduler, storage, tracer, mem_policy),
-      link(engine, net::LinkConfig{}),
+      link(engine, net::LinkConfig{}, std::move(net)),
       am(memory),
       profile_(std::move(profile)),
       seed_(seed) {
@@ -25,6 +27,23 @@ Testbed::Testbed(DeviceProfile profile, std::uint64_t seed, mem::MemPolicySpec m
   // baseline blobs stay byte-identical to the pre-policy layout.
   if (memory.policy().has_state()) {
     components_.add(6, "MPOL", "mem-policy", &memory.policy());
+  }
+  // Congestion-controlled worlds carry a NETC section (registry key 7)
+  // recording which controller drives the link's flows; fifo worlds
+  // don't, so legacy blobs stay byte-identical. The flow engine's
+  // dynamic state lives in the LINK section (v2).
+  if (link.cc_mode()) {
+    const net::NetSpec& spec = link.net();
+    components_.add(
+        7, snapshot::tag("NETC"), "net-cc",
+        [&spec](snapshot::ByteWriter& w) { net::save_net_spec(w, spec); },
+        [&spec] {
+          snapshot::ByteWriter w;
+          net::save_net_spec(w, spec);
+          snapshot::StateHash hash;
+          hash.mix_bytes(std::move(w).take());
+          return hash.value();
+        });
   }
 }
 

@@ -26,7 +26,7 @@ class SystemActivity;
 class Testbed {
  public:
   explicit Testbed(DeviceProfile profile, std::uint64_t seed = 1,
-                   mem::MemPolicySpec mem_policy = {});
+                   mem::MemPolicySpec mem_policy = {}, net::NetSpec net = {});
   ~Testbed();
 
   Testbed(const Testbed&) = delete;

@@ -15,6 +15,12 @@ namespace {
 constexpr std::uint64_t kGeStream = 1;
 constexpr std::uint64_t kStorageStream = 2;
 
+// Per-packet corruption probability the Gilbert-Elliott bad state feeds
+// into a congestion-controlled link (the CC loss signal). The value is
+// part of the model, not the plan encoding, so fault-plan blobs keep
+// their v1 bytes.
+constexpr double kGeBadLossRate = 0.02;
+
 sim::Time sample_sojourn(stats::Rng& rng, sim::Time mean) {
   const double us = rng.exponential(static_cast<double>(std::max<sim::Time>(mean, 1)));
   return std::max<sim::Time>(1, static_cast<sim::Time>(std::llround(us)));
@@ -93,6 +99,7 @@ void FaultInjector::disarm() {
     } else {
       apply_rate(nominal_rate_mbps_);
     }
+    if (targets_.link && targets_.link->cc_mode()) targets_.link->set_loss_rate(0.0);
     ge_bad_ = false;
   }
   while (open_outages_ > 0) end_outage();
@@ -197,6 +204,12 @@ void FaultInjector::ge_transition() {
     } else {
       apply_rate(ge.bad_rate_mbps);
     }
+    // On a congestion-controlled link the bad state also corrupts
+    // packets: the loss probability feeds every flow's controller as its
+    // loss signal. No-op on the serial fifo path (no packets to drop).
+    if (targets_.link && targets_.link->cc_mode()) {
+      targets_.link->set_loss_rate(kGeBadLossRate);
+    }
     schedule_action(targets_.engine->now() + sample_sojourn(rng_, ge.mean_bad),
                     [this] { ge_transition(); });
   } else {
@@ -207,6 +220,7 @@ void FaultInjector::ge_transition() {
     } else {
       apply_rate(ge.good_rate_mbps);
     }
+    if (targets_.link && targets_.link->cc_mode()) targets_.link->set_loss_rate(0.0);
     schedule_action(targets_.engine->now() + sample_sojourn(rng_, ge.mean_good),
                     [this] { ge_transition(); });
   }

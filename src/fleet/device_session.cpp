@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "net/link.hpp"
 #include "proc/app_catalog.hpp"
 #include "runner/ipc.hpp"
 #include "stats/rng.hpp"
@@ -174,6 +176,20 @@ DeviceObservations drive_session(FleetWorld& world, const FleetDevice& device,
                      open_order.end());
   };
 
+  // Congestion-controlled network duty (--cc fleets): the device gets
+  // its own bottleneck link and the foreground app's feed growth is
+  // gated on the link actually delivering a feed chunk — a slow or
+  // lossy network starves the growth that drives memory pressure. The
+  // fifo default constructs no link and leaves the session bit-identical
+  // to pre-cc fleets.
+  std::unique_ptr<net::Link> link;
+  net::TransferId net_fetch = net::kInvalidTransfer;
+  bool net_fed = true;
+  if (!spec.net.is_default()) {
+    link = std::make_unique<net::Link>(engine, net::LinkConfig{}, spec.net);
+    net_fed = false;
+  }
+
   mem::PressureLevel previous_level = memory.level();
   sim::Time state_entered = engine.now();
 
@@ -204,12 +220,28 @@ DeviceObservations drive_session(FleetWorld& world, const FleetDevice& device,
       }
     }
 
-    // Foreground app grows (feeds, buffers).
+    // Foreground app grows (feeds, buffers) — gated on the network
+    // duty's chunk delivery when a congestion-controlled link is in play.
     const proc::ProcessId foreground = am.foreground();
     if (foreground != 0) {
       const auto it = user_apps.find(foreground);
       if (it != user_apps.end() && it->second.growth_pages_per_sec > 0) {
-        memory.alloc_anon(foreground, it->second.growth_pages_per_sec, 0, nullptr);
+        if (link != nullptr) {
+          if (net_fetch == net::kInvalidTransfer) {
+            // One ~256 KiB feed chunk per growth appetite; its delivery
+            // unlocks the next growth tick.
+            net_fetch = link->transfer(256 * 1024, [&net_fetch, &net_fed](bool ok) {
+              net_fetch = net::kInvalidTransfer;
+              net_fed = ok;
+            });
+          }
+          if (net_fed) {
+            net_fed = false;
+            memory.alloc_anon(foreground, it->second.growth_pages_per_sec, 0, nullptr);
+          }
+        } else {
+          memory.alloc_anon(foreground, it->second.growth_pages_per_sec, 0, nullptr);
+        }
       }
     }
 
@@ -231,6 +263,9 @@ DeviceObservations drive_session(FleetWorld& world, const FleetDevice& device,
                                      mem::mb_from_pages(memory.available_pages()));
     }
   }
+  // The callback captures stack locals; make sure it can never fire
+  // after this frame unwinds (the engine is done, but be explicit).
+  if (link != nullptr && net_fetch != net::kInvalidTransfer) link->cancel(net_fetch);
   return obs;
 }
 

@@ -20,6 +20,7 @@ void validate(const FleetSpec& spec) {
   if (spec.warmup_s < 0) throw std::invalid_argument("fleet: warmup must be >= 0s");
   if (spec.shard_size == 0) throw std::invalid_argument("fleet: shard size must be >= 1");
   mem::validate_policy_spec(spec.mem_policy);
+  net::validate_net_spec(spec.net);
 }
 
 }  // namespace
@@ -37,10 +38,13 @@ std::string encode_fleet_config(const FleetSpec& spec) {
   w.i32(spec.sample_period_s);
   w.i32(spec.warmup_s);
   w.u64(spec.shard_size);
-  // Optional tail (still config version 1): the memory policy, written
-  // only when non-baseline so historical checkpoints keep their
-  // fingerprints.
-  if (!spec.mem_policy.is_baseline()) mem::save_policy_spec(w, spec.mem_policy);
+  // Optional tails (still config version 1), written only when
+  // non-default so historical checkpoints keep their fingerprints; a
+  // non-fifo net spec forces the policy spec out even at baseline.
+  if (!spec.mem_policy.is_baseline() || !spec.net.is_default()) {
+    mem::save_policy_spec(w, spec.mem_policy);
+  }
+  if (!spec.net.is_default()) net::save_net_spec(w, spec.net);
   return std::move(w).take();
 }
 
@@ -58,6 +62,7 @@ FleetSpec decode_fleet_config(const std::string& bytes) {
   spec.warmup_s = r.i32();
   spec.shard_size = r.u64();
   if (!r.done()) spec.mem_policy = mem::load_policy_spec(r);
+  if (!r.done()) spec.net = net::load_net_spec(r);
   if (!r.done()) throw std::runtime_error("fleet: trailing bytes after the fleet config");
   validate(spec);
   return spec;

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "mem/policy.hpp"
+#include "net/cc.hpp"
 
 namespace mvqoe::fleet {
 
@@ -41,6 +42,10 @@ struct FleetSpec {
   /// Baseline (the default) encodes to nothing, so historical
   /// checkpoint fingerprints are unchanged.
   mem::MemPolicySpec mem_policy;
+  /// Link congestion controller every device-session runs. The fifo
+  /// default likewise encodes to nothing (and skips the network phase
+  /// entirely, keeping pre-cc fleets bit-identical).
+  net::NetSpec net;
 };
 
 /// Campaign units: ceil(devices / shard_size). Unit u covers device

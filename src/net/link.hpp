@@ -1,23 +1,41 @@
 // Network substrate: the dedicated WiFi LAN of the paper's testbed
-// (Fig 7). A serialized FIFO link with fixed rate and propagation delay —
-// provisioned in the experiments so it is never the bottleneck (§4.1:
-// "the playback buffer filled up quickly and then remained at maximum
-// capacity"), but implemented rather than assumed so the download path
-// exists and can be throttled in ablations.
+// (Fig 7). Two modes behind one facade:
+//
+//  - fifo (default NetSpec): a serialized FIFO link with fixed rate and
+//    propagation delay — provisioned in the experiments so it is never
+//    the bottleneck (§4.1: "the playback buffer filled up quickly and
+//    then remained at maximum capacity"), but implemented rather than
+//    assumed so the download path exists and can be throttled in
+//    ablations. This path is byte-identical to the pre-CC link: same
+//    events, same engine sequence numbers, same v1 snapshot section.
+//
+//  - congestion-controlled (NetSpec cc != "fifo"): a shared bottleneck
+//    carrying N concurrent flows. Packets (~MSS) serialize through a
+//    droptail queue at the link rate; each flow is driven by a pluggable
+//    CongestionController (cubic / bbr / c4, see cc.hpp) fed by per-ack
+//    RTT samples and drop notifications. Cross traffic and the video
+//    session's segment fetches compete here, which is what opens the
+//    memory-pressure × network-pressure scenario axis (ROADMAP item 3).
 //
 // Fault-injection support: transfers are cancellable, the in-flight
 // transfer is re-paced from its remaining bytes whenever the rate
 // changes, the link can go down entirely (payload progress freezes and
 // resumes on restore), and a per-transfer timeout fails transfers that
 // sit on the wire too long — the hooks the FaultInjector and the video
-// session's retry path are built on.
+// session's retry path are built on. In CC mode the Gilbert-Elliott bad
+// state additionally feeds a per-packet loss probability via
+// set_loss_rate().
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 
+#include "net/cc.hpp"
 #include "sim/engine.hpp"
+#include "stats/rng.hpp"
 
 namespace mvqoe::net {
 
@@ -43,18 +61,52 @@ struct LinkCounters {
   std::uint64_t outages = 0;  // down() transitions
 };
 
-/// One-direction link delivering transfers FIFO at the configured rate.
+/// Aggregate bottleneck-queue waiting-time distribution (microseconds a
+/// packet spent queued behind other packets before serializing).
+struct QueueDelayStats {
+  std::uint64_t samples = 0;
+  sim::Time total = 0;
+  sim::Time max = 0;
+
+  void add(sim::Time delay) noexcept {
+    ++samples;
+    total += delay;
+    if (delay > max) max = delay;
+  }
+  double mean() const noexcept {
+    return samples == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(samples);
+  }
+};
+
+/// Introspection snapshot of one live flow (oracles, figures, tests).
+struct FlowStats {
+  TransferId id = kInvalidTransfer;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t inflight_bytes = 0;
+  std::uint64_t losses = 0;
+  double cwnd_bytes = 0.0;
+  double pacing_bytes_per_usec = 0.0;
+  sim::Time min_rtt = 0;
+  sim::Time last_rtt = 0;
+  QueueDelayStats queue_delay;
+};
+
+/// One-direction link. FIFO-serial by default; a shared bottleneck with
+/// congestion-controlled concurrent flows when the NetSpec says so.
 class Link {
  public:
   /// Completion callback: ok=true when the last byte arrived, ok=false
   /// when the transfer timed out. Cancelled transfers never call back.
   using CompletionFn = std::function<void(bool ok)>;
 
-  Link(sim::Engine& engine, LinkConfig config);
+  Link(sim::Engine& engine, LinkConfig config, NetSpec net = {});
 
-  /// Deliver `bytes` to the receiver. Transfers share the link serially
-  /// (HTTP/1.1-style sequential segment fetches, as dash.js performs
-  /// them). Returns a handle usable with cancel().
+  /// Deliver `bytes` to the receiver. In fifo mode transfers share the
+  /// link serially (HTTP/1.1-style sequential segment fetches, as
+  /// dash.js performs them); in CC mode each transfer is a concurrent
+  /// flow competing through the bottleneck. Returns a handle usable
+  /// with cancel().
   TransferId transfer(std::uint64_t bytes, CompletionFn on_complete);
 
   /// Abort a queued or in-flight transfer; its callback never fires.
@@ -67,7 +119,9 @@ class Link {
   sim::Time idle_transfer_time(std::uint64_t bytes) const noexcept;
 
   std::size_t queued() const noexcept { return queue_.size(); }
-  bool busy() const noexcept { return active_.id != kInvalidTransfer; }
+  bool busy() const noexcept {
+    return cc_mode() ? !flows_.empty() : active_.id != kInvalidTransfer;
+  }
   std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
   const LinkConfig& config() const noexcept { return config_; }
   const LinkCounters& counters() const noexcept { return counters_; }
@@ -82,11 +136,40 @@ class Link {
   /// Take the link down (outage) or bring it back up. While down, the
   /// in-flight transfer freezes (remaining bytes preserved) and queued
   /// transfers wait; on restore the transfer resumes where it stopped.
+  /// In CC mode packets already on the wire still deliver, but no new
+  /// packets are sent until the link comes back.
   void set_down(bool down);
+
+  // --- CC-mode surface ------------------------------------------------------
+
+  bool cc_mode() const noexcept { return cc_mode_; }
+  const NetSpec& net() const noexcept { return net_; }
+
+  /// Per-packet random loss probability (Gilbert-Elliott bad state feeds
+  /// this in CC mode). A no-op signal in fifo mode: the serial path has
+  /// no packets to drop, and the value never enters the v1 snapshot.
+  void set_loss_rate(double probability) noexcept { cc_loss_rate_ = probability; }
+  double loss_rate() const noexcept { return cc_loss_rate_; }
+
+  /// Live flows in id order (empty in fifo mode).
+  std::vector<FlowStats> flow_stats() const;
+  /// Bytes delivered by flows already completed/failed/cancelled. The
+  /// conservation invariant: retired_delivered() + sum of live flows'
+  /// delivered == bytes_delivered().
+  std::uint64_t retired_delivered() const noexcept { return cc_retired_delivered_; }
+  /// Current modeled bottleneck backlog (bytes accepted but not yet
+  /// serialized onto the wire) and the droptail capacity bounding it.
+  std::uint64_t backlog_bytes() const;
+  std::uint64_t queue_capacity_bytes() const noexcept { return cc_queue_capacity_; }
+  const QueueDelayStats& queue_delay() const noexcept { return cc_qdelay_; }
+  std::uint64_t packets_sent() const noexcept { return cc_packets_sent_; }
+  std::uint64_t packets_dropped() const noexcept { return cc_packets_dropped_; }
 
   /// Serialize rate/outage state, counters, the transfer queue and the
   /// in-flight transfer's pacing (completion callbacks excluded —
-  /// closures, replay-reconstructed per DESIGN.md §10).
+  /// closures, replay-reconstructed per DESIGN.md §10). Section v1 in
+  /// fifo mode (byte-identical to the pre-CC link); v2 in CC mode adds
+  /// the spec, bottleneck queue and per-flow controller state.
   void save(snapshot::ByteWriter& w) const;
   std::uint64_t digest() const;
 
@@ -125,6 +208,48 @@ class Link {
   static void on_timeout(void* ctx, std::uint64_t);
   double bytes_per_usec() const noexcept;
 
+  // --- CC-mode flow engine --------------------------------------------------
+
+  struct Packet {
+    double bytes = 0.0;
+    sim::Time sent_at = 0;
+  };
+  struct Flow {
+    TransferId id = kInvalidTransfer;
+    std::uint64_t total_bytes = 0;
+    double remaining_bytes = 0.0;  // not yet sent (retransmits re-add)
+    double inflight_bytes = 0.0;
+    std::uint64_t delivered_bytes = 0;  // acked
+    std::uint64_t losses = 0;
+    bool started = false;  // request setup (propagation + overhead) paid
+    CompletionFn on_complete;
+    std::unique_ptr<CongestionController> cc;
+    std::deque<Packet> in_flight;     // bottleneck is FIFO: acks pop front
+    std::deque<double> loss_pending;  // dropped-packet bytes awaiting detection
+    sim::Time pace_next = 0;
+    sim::Time min_rtt = 0;
+    sim::Time last_rtt = 0;
+    QueueDelayStats qdelay;
+    sim::EventId start_event = sim::kInvalidEvent;
+    sim::EventId send_event = sim::kInvalidEvent;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+
+  TransferId cc_transfer(std::uint64_t bytes, CompletionFn on_complete);
+  bool cc_cancel(TransferId id);
+  void cc_try_send(Flow& flow);
+  void cc_send_packet(Flow& flow, double pkt_bytes);
+  /// Retire departed packets from the modeled backlog (lazy: a pure
+  /// function of (departures, now), so callable from const accessors and
+  /// save without perturbing determinism).
+  void cc_prune_departures(sim::Time now) const;
+  void cc_finish_flow(TransferId id, bool ok);
+  static void on_flow_start(void* ctx, std::uint64_t id);
+  static void on_flow_send(void* ctx, std::uint64_t id);
+  static void on_flow_ack(void* ctx, std::uint64_t id);
+  static void on_flow_loss(void* ctx, std::uint64_t id);
+  static void on_flow_timeout(void* ctx, std::uint64_t id);
+
   sim::Engine& engine_;
   LinkConfig config_;
   std::deque<Pending> queue_;
@@ -133,6 +258,21 @@ class Link {
   std::uint64_t bytes_delivered_ = 0;
   TransferId next_id_ = 1;
   LinkCounters counters_;
+
+  NetSpec net_;
+  bool cc_mode_ = false;
+  double cc_mss_ = 1500.0;
+  std::uint64_t cc_queue_capacity_ = 64 * 1024;
+  double cc_loss_rate_ = 0.0;
+  stats::Rng cc_loss_rng_;
+  std::map<TransferId, std::unique_ptr<Flow>> flows_;
+  sim::Time cc_queue_busy_until_ = 0;
+  mutable double cc_backlog_bytes_ = 0.0;
+  mutable std::deque<std::pair<sim::Time, double>> cc_departures_;
+  std::uint64_t cc_retired_delivered_ = 0;
+  std::uint64_t cc_packets_sent_ = 0;
+  std::uint64_t cc_packets_dropped_ = 0;
+  QueueDelayStats cc_qdelay_;
 };
 
 }  // namespace mvqoe::net

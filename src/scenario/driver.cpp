@@ -25,7 +25,7 @@ int severity(core::RunStatus status) {
 
 ScenarioDriver::ScenarioDriver(ScenarioSpec spec) : spec_(std::move(spec)) {
   testbed_ = std::make_unique<core::Testbed>(
-      device_for(spec_), spec_.world_seed.value_or(spec_.seed), spec_.mem_policy);
+      device_for(spec_), spec_.world_seed.value_or(spec_.seed), spec_.mem_policy, spec_.net);
   // The scenario-level pressure regime comes first (it must be
   // established before any session starts — §4.1); the spec's workload
   // list follows in order. The legacy experiment always ran a synthetic
@@ -44,6 +44,7 @@ ScenarioDriver::ScenarioDriver(ScenarioSpec spec) : spec_(std::move(spec)) {
     throw std::invalid_argument("scenario: more than 10 video sessions per scenario");
   }
   std::size_t video_index = 0;
+  std::size_t cross_traffic = 0;
   for (const WorkloadSpec& workload : spec_.workloads) {
     if (const auto* video = std::get_if<VideoWorkloadSpec>(&workload)) {
       auto& added = testbed_->add_workload(std::make_unique<VideoSessionWorkload>(
@@ -51,10 +52,13 @@ ScenarioDriver::ScenarioDriver(ScenarioSpec spec) : spec_(std::move(spec)) {
       videos_.push_back(static_cast<VideoSessionWorkload*>(&added));
     } else if (const auto* apps = std::get_if<BackgroundAppsWorkloadSpec>(&workload)) {
       testbed_->add_workload(std::make_unique<BackgroundDutyWorkload>(apps->label, apps->count));
+    } else if (const auto* pressure = std::get_if<PressureWorkloadSpec>(&workload)) {
+      testbed_->add_workload(std::make_unique<PressureInducerWorkload>(pressure->label,
+                                                                       pressure->target,
+                                                                       inducers++));
     } else {
-      const auto& pressure = std::get<PressureWorkloadSpec>(workload);
-      testbed_->add_workload(
-          std::make_unique<PressureInducerWorkload>(pressure.label, pressure.target, inducers++));
+      const auto& cross = std::get<CrossTrafficWorkloadSpec>(workload);
+      testbed_->add_workload(std::make_unique<CrossTrafficWorkload>(cross, cross_traffic++));
     }
   }
 }

@@ -139,10 +139,17 @@ void require_serializable(const ScenarioSpec& scen) {
 
 void save_scenario(snapshot::ByteWriter& w, const ScenarioSpec& scen) {
   require_serializable(scen);
-  // v2 = workload lists; v3 appends the memory-policy spec. A baseline
+  bool has_cross_traffic = false;
+  for (const WorkloadSpec& workload : scen.workloads) {
+    if (std::holds_alternative<CrossTrafficWorkloadSpec>(workload)) has_cross_traffic = true;
+  }
+  // v2 = workload lists; v3 appends the memory-policy spec; v4 (any
+  // non-default NetSpec or a cross-traffic workload) appends the policy
+  // spec (even baseline) followed by the net spec. A baseline/fifo
   // scenario still writes v2, so every pre-policy blob and fingerprint
   // stays byte-identical.
-  w.u32(scen.mem_policy.is_baseline() ? 2 : 3);
+  const bool v4 = !scen.net.is_default() || has_cross_traffic;
+  w.u32(v4 ? 4 : (scen.mem_policy.is_baseline() ? 2 : 3));
   w.str(scen.family);
   w.u8(static_cast<std::uint8_t>(scen.state));
   w.i32(scen.organic_background_apps);
@@ -166,14 +173,28 @@ void save_scenario(snapshot::ByteWriter& w, const ScenarioSpec& scen) {
       w.u8(1);
       w.str(apps->label);
       w.i32(apps->count);
-    } else {
-      const auto& pressure = std::get<PressureWorkloadSpec>(workload);
+    } else if (const auto* pressure = std::get_if<PressureWorkloadSpec>(&workload)) {
       w.u8(2);
-      w.str(pressure.label);
-      w.u8(static_cast<std::uint8_t>(pressure.target));
+      w.str(pressure->label);
+      w.u8(static_cast<std::uint8_t>(pressure->target));
+    } else {
+      const auto& cross = std::get<CrossTrafficWorkloadSpec>(workload);
+      w.u8(3);
+      w.str(cross.label);
+      w.i32(cross.bulk_flows);
+      w.i32(cross.onoff_flows);
+      w.i32(cross.on_s);
+      w.i32(cross.off_s);
+      w.u64(cross.chunk_bytes);
+      w.u64(cross.seed);
     }
   }
-  if (!scen.mem_policy.is_baseline()) mem::save_policy_spec(w, scen.mem_policy);
+  if (v4) {
+    mem::save_policy_spec(w, scen.mem_policy);
+    net::save_net_spec(w, scen.net);
+  } else if (!scen.mem_policy.is_baseline()) {
+    mem::save_policy_spec(w, scen.mem_policy);
+  }
 }
 
 ScenarioSpec load_scenario(snapshot::ByteReader& r) {
@@ -192,7 +213,7 @@ ScenarioSpec load_scenario(snapshot::ByteReader& r) {
     return single_video(scen.family, height, fps, duration_s, scen.state, scen.seed,
                         std::move(plan));
   }
-  if (version != 2 && version != 3) throw std::runtime_error("snapshot: unsupported SCEN version");
+  if (version < 2 || version > 4) throw std::runtime_error("snapshot: unsupported SCEN version");
   ScenarioSpec scen;
   scen.family = r.str();
   scen.state = static_cast<mem::PressureLevel>(r.u8());
@@ -223,6 +244,16 @@ ScenarioSpec load_scenario(snapshot::ByteReader& r) {
       pressure.label = r.str();
       pressure.target = static_cast<mem::PressureLevel>(r.u8());
       scen.workloads.emplace_back(std::move(pressure));
+    } else if (kind == 3 && version >= 4) {
+      CrossTrafficWorkloadSpec cross;
+      cross.label = r.str();
+      cross.bulk_flows = r.i32();
+      cross.onoff_flows = r.i32();
+      cross.on_s = r.i32();
+      cross.off_s = r.i32();
+      cross.chunk_bytes = r.u64();
+      cross.seed = r.u64();
+      scen.workloads.emplace_back(std::move(cross));
     } else {
       throw std::runtime_error("snapshot: unknown workload kind in SCEN section");
     }
@@ -230,6 +261,10 @@ ScenarioSpec load_scenario(snapshot::ByteReader& r) {
   if (version >= 3) {
     scen.mem_policy = mem::load_policy_spec(r);
     mem::validate_policy_spec(scen.mem_policy);
+  }
+  if (version >= 4) {
+    scen.net = net::load_net_spec(r);
+    net::validate_net_spec(scen.net);
   }
   find_family(scen.family);  // validate eagerly, before any sim is built
   return scen;

@@ -21,6 +21,7 @@
 
 #include "core/run_spec.hpp"
 #include "mem/policy.hpp"
+#include "net/cc.hpp"
 #include "snapshot/bytes.hpp"
 
 namespace mvqoe::scenario {
@@ -62,8 +63,25 @@ struct PressureWorkloadSpec {
   mem::PressureLevel target = mem::PressureLevel::Moderate;
 };
 
-using WorkloadSpec =
-    std::variant<VideoWorkloadSpec, BackgroundAppsWorkloadSpec, PressureWorkloadSpec>;
+/// Competing traffic through the shared bottleneck (meaningful when the
+/// scenario's NetSpec selects a congestion controller): `bulk_flows`
+/// long-lived chunked downloads that restart as soon as a chunk lands,
+/// plus `onoff_flows` flows alternating `on_s` seconds of transfer with
+/// `off_s` seconds of silence — the bursty competitor that perturbs
+/// delay-based controllers hardest.
+struct CrossTrafficWorkloadSpec {
+  std::string label = "cross";
+  int bulk_flows = 1;
+  int onoff_flows = 0;
+  int on_s = 2;
+  int off_s = 2;
+  std::uint64_t chunk_bytes = 2 * 1024 * 1024;
+  /// Phase-jitter RNG stream (start offsets per flow).
+  std::uint64_t seed = 1;
+};
+
+using WorkloadSpec = std::variant<VideoWorkloadSpec, BackgroundAppsWorkloadSpec,
+                                  PressureWorkloadSpec, CrossTrafficWorkloadSpec>;
 
 /// Scenario families map to the paper's evaluation setups:
 ///   fig09 / fig16 / table1 — Nokia 1, Firefox
@@ -91,6 +109,11 @@ struct ScenarioSpec {
   /// default (baseline) serializes as SCEN v2, byte-identical to
   /// pre-policy blobs; anything else bumps the section to v3.
   mem::MemPolicySpec mem_policy;
+  /// Congestion-control spec for the link (net/cc.hpp). The default
+  /// (fifo, no params) keeps the serial link and — together with an
+  /// absence of cross-traffic workloads — the v2/v3 SCEN encoding;
+  /// anything else bumps the section to v4.
+  net::NetSpec net;
   std::vector<WorkloadSpec> workloads;
 };
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "proc/app_catalog.hpp"
+#include "snapshot/digest.hpp"
+#include "snapshot/rng_io.hpp"
 #include "stats/rng.hpp"
 
 namespace mvqoe::scenario {
@@ -225,5 +227,101 @@ void PressureInducerWorkload::attach(core::Testbed& testbed) {
   }
   observed_ = *level_at_signal;
 }
+
+CrossTrafficWorkload::CrossTrafficWorkload(CrossTrafficWorkloadSpec spec, std::size_t index)
+    : spec_(std::move(spec)),
+      index_(index),
+      rng_(stats::derive_seed(spec_.seed, 0xC4C4)) {}
+
+CrossTrafficWorkload::~CrossTrafficWorkload() = default;
+
+void CrossTrafficWorkload::start(core::Testbed& testbed) {
+  core::Testbed& tb = testbed;
+  tb.components().add(static_cast<int>(130 + index_), indexed_tag("XTRC", "XTR", index_),
+                      indexed_name("cross", index_),
+                      [this](snapshot::ByteWriter& w) { save(w); }, [this] { return digest(); });
+  bulk_.resize(static_cast<std::size_t>(std::max(0, spec_.bulk_flows)));
+  onoff_.resize(static_cast<std::size_t>(std::max(0, spec_.onoff_flows)));
+  // Seeded phase jitter: each lane kicks off within its first second so
+  // competing flows don't toggle in lockstep. start() must not advance
+  // the engine, so the kick-offs are scheduled, never run inline.
+  for (std::size_t i = 0; i < bulk_.size(); ++i) {
+    const sim::Time delay = 1 + rng_.uniform_int(0, sim::msec(900));
+    tb.engine.schedule(delay, [this, &tb, i] {
+      if (!stopped_) start_chunk(tb, /*bulk=*/true, i);
+    });
+  }
+  for (std::size_t i = 0; i < onoff_.size(); ++i) {
+    const sim::Time delay = 1 + rng_.uniform_int(0, sim::msec(900));
+    tb.engine.schedule(delay, [this, &tb, i] {
+      if (!stopped_) toggle(tb, i);
+    });
+  }
+}
+
+void CrossTrafficWorkload::start_chunk(core::Testbed& tb, bool bulk, std::size_t slot) {
+  FlowLane& lane = bulk ? bulk_[slot] : onoff_[slot];
+  lane.id = tb.link.transfer(spec_.chunk_bytes, [this, &tb, bulk, slot](bool ok) {
+    FlowLane& done = bulk ? bulk_[slot] : onoff_[slot];
+    done.id = net::kInvalidTransfer;
+    if (ok) ++done.chunks;
+    // Chain the next chunk while the lane is live (bulk: always; on/off:
+    // only inside an on-phase).
+    if (!stopped_ && done.on) start_chunk(tb, bulk, slot);
+  });
+}
+
+void CrossTrafficWorkload::toggle(core::Testbed& tb, std::size_t slot) {
+  FlowLane& lane = onoff_[slot];
+  lane.on = !lane.on;
+  if (lane.on) {
+    start_chunk(tb, /*bulk=*/false, slot);
+  } else if (lane.id != net::kInvalidTransfer) {
+    tb.link.cancel(lane.id);
+    lane.id = net::kInvalidTransfer;
+  }
+  const sim::Time phase = sim::sec(lane.on ? std::max(1, spec_.on_s) : std::max(1, spec_.off_s));
+  tb.engine.schedule(phase, [this, &tb, slot] {
+    if (!stopped_) toggle(tb, slot);
+  });
+}
+
+void CrossTrafficWorkload::finalize(core::Testbed& testbed) {
+  stopped_ = true;
+  for (FlowLane& lane : bulk_) {
+    if (lane.id != net::kInvalidTransfer) testbed.link.cancel(lane.id);
+    lane.id = net::kInvalidTransfer;
+  }
+  for (FlowLane& lane : onoff_) {
+    if (lane.id != net::kInvalidTransfer) testbed.link.cancel(lane.id);
+    lane.id = net::kInvalidTransfer;
+  }
+}
+
+std::uint64_t CrossTrafficWorkload::chunks_completed() const noexcept {
+  std::uint64_t total = 0;
+  for (const FlowLane& lane : bulk_) total += lane.chunks;
+  for (const FlowLane& lane : onoff_) total += lane.chunks;
+  return total;
+}
+
+void CrossTrafficWorkload::save(snapshot::ByteWriter& w) const {
+  w.u32(1);  // section version
+  w.b(stopped_);
+  snapshot::write_rng(w, rng_);
+  w.u64(bulk_.size());
+  for (const FlowLane& lane : bulk_) {
+    w.u64(lane.id);
+    w.u64(lane.chunks);
+  }
+  w.u64(onoff_.size());
+  for (const FlowLane& lane : onoff_) {
+    w.u64(lane.id);
+    w.b(lane.on);
+    w.u64(lane.chunks);
+  }
+}
+
+std::uint64_t CrossTrafficWorkload::digest() const { return snapshot::state_digest(*this); }
 
 }  // namespace mvqoe::scenario

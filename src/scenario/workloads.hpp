@@ -8,12 +8,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/pressure_inducer.hpp"
 #include "core/run_spec.hpp"
 #include "core/testbed.hpp"
 #include "core/workload.hpp"
 #include "scenario/spec.hpp"
+#include "stats/rng.hpp"
 
 namespace mvqoe::scenario {
 
@@ -106,6 +108,51 @@ class PressureInducerWorkload final : public core::Workload {
   std::size_t index_;
   std::unique_ptr<core::PressureInducer> inducer_;
   mem::PressureLevel observed_ = mem::PressureLevel::Normal;
+};
+
+/// Competing traffic through the shared bottleneck (ROADMAP item 3):
+/// bulk flows chain chunk downloads back-to-back for the whole run;
+/// on/off flows alternate transfer bursts with silence, with seeded
+/// phase jitter so flows don't toggle in lockstep. Meant for
+/// congestion-controlled links (NetSpec cc != fifo), where the flows
+/// genuinely compete with the video session's segment fetches; on a
+/// fifo link they simply queue ahead of it. Blob section XTRC for
+/// workload 0, XTRn for later ones (registry key 130+i).
+class CrossTrafficWorkload final : public core::Workload {
+ public:
+  CrossTrafficWorkload(CrossTrafficWorkloadSpec spec, std::size_t index);
+  ~CrossTrafficWorkload() override;
+
+  std::string label() const override { return spec_.label; }
+  void attach(core::Testbed& testbed) override { (void)testbed; }
+  void start(core::Testbed& testbed) override;
+  bool done() const override { return true; }
+  void finalize(core::Testbed& testbed) override;
+  mem::PressureLevel observed_level() const override { return mem::PressureLevel::Normal; }
+
+  /// Chunks fully delivered across all flows so far.
+  std::uint64_t chunks_completed() const noexcept;
+  const CrossTrafficWorkloadSpec& spec() const noexcept { return spec_; }
+
+  void save(snapshot::ByteWriter& w) const;
+  std::uint64_t digest() const;
+
+ private:
+  struct FlowLane {
+    net::TransferId id = net::kInvalidTransfer;
+    bool on = true;  // on/off phase; bulk lanes stay on
+    std::uint64_t chunks = 0;
+  };
+
+  void start_chunk(core::Testbed& tb, bool bulk, std::size_t slot);
+  void toggle(core::Testbed& tb, std::size_t slot);
+
+  CrossTrafficWorkloadSpec spec_;
+  std::size_t index_;
+  bool stopped_ = false;
+  stats::Rng rng_;
+  std::vector<FlowLane> bulk_;
+  std::vector<FlowLane> onoff_;
 };
 
 }  // namespace mvqoe::scenario

@@ -377,10 +377,107 @@ TEST(OracleCorruption, LivelockTripwireTripsOnlyEngine) {
   expect_only(suite, obs, "engine");
 }
 
+// ---------- Net oracle corruption (cc-mode link invariants) ------------------
+
+/// A healthy cc-mode network observation: one half-done flow, bytes
+/// conserved, backlog inside the droptail bound, sane controller state.
+void add_clean_net(WorldObservation& obs) {
+  obs.net.cc_mode = true;
+  obs.net.cc = "cubic";
+  obs.net.retired_delivered = 1'000'000;
+  obs.net.bytes_delivered = 1'500'000;
+  obs.net.backlog_bytes = 30'000;
+  obs.net.queue_capacity_bytes = 64 * 1024;
+  check::NetFlowObs flow;
+  flow.id = 7;
+  flow.total_bytes = 2'000'000;
+  flow.delivered_bytes = 500'000;
+  flow.inflight_bytes = 30'000;
+  flow.cwnd_bytes = 45'000.0;
+  flow.pacing_bytes_per_usec = 10.0;
+  obs.net.flows.push_back(flow);
+}
+
+TEST(OracleCorruption, CleanNetObservationTripsNothing) {
+  check::OracleSuite suite;
+  WorldObservation obs = clean_observation();
+  add_clean_net(obs);
+  EXPECT_TRUE(suite.check_all(obs).empty());
+}
+
+TEST(OracleCorruption, LostNetBytesTripOnlyNetConservation) {
+  check::OracleSuite suite;
+  WorldObservation obs = clean_observation();
+  add_clean_net(obs);
+  obs.net.retired_delivered -= 1;  // a byte vanished between flows and the link
+  expect_only(suite, obs, "net-conservation");
+}
+
+TEST(OracleCorruption, BacklogOverCapacityTripsOnlyNetQueue) {
+  check::OracleSuite suite;
+  WorldObservation obs = clean_observation();
+  add_clean_net(obs);
+  obs.net.backlog_bytes = obs.net.queue_capacity_bytes + 1;  // droptail must have dropped
+  expect_only(suite, obs, "net-queue");
+}
+
+TEST(OracleCorruption, CwndBelowOnePacketTripsOnlyNetCwnd) {
+  check::OracleSuite suite;
+  WorldObservation obs = clean_observation();
+  add_clean_net(obs);
+  obs.net.flows.front().cwnd_bytes = 0.0;  // the controller clamp failed
+  expect_only(suite, obs, "net-cwnd");
+}
+
+TEST(OracleCorruption, NegativePacingRateTripsOnlyNetCwnd) {
+  check::OracleSuite suite;
+  WorldObservation obs = clean_observation();
+  add_clean_net(obs);
+  obs.net.flows.front().pacing_bytes_per_usec = -1.0;
+  expect_only(suite, obs, "net-cwnd");
+}
+
+TEST(OracleCorruption, DeliveredOverTotalTripsOnlyNetProgress) {
+  check::OracleSuite suite;
+  WorldObservation obs = clean_observation();
+  add_clean_net(obs);
+  obs.net.flows.front().delivered_bytes = obs.net.flows.front().total_bytes + 1;
+  // Keep conservation intact so only the progress oracle can trip.
+  obs.net.bytes_delivered = obs.net.retired_delivered + obs.net.flows.front().delivered_bytes;
+  expect_only(suite, obs, "net-progress");
+}
+
+TEST(OracleCorruption, DeliveredBackwardsTripsOnlyNetProgress) {
+  check::OracleSuite suite;
+  WorldObservation first = clean_observation();
+  add_clean_net(first);
+  ASSERT_TRUE(suite.check_all(first).empty());
+  WorldObservation second = clean_observation();
+  add_clean_net(second);
+  second.net.flows.front().delivered_bytes -= 1;  // un-delivered a byte
+  second.net.bytes_delivered = second.net.retired_delivered +
+                               second.net.flows.front().delivered_bytes;
+  expect_only(suite, second, "net-progress");
+}
+
+TEST(OracleCorruption, FifoModeNetOraclesAreInert) {
+  // The same corrupted numbers with cc_mode unset must trip nothing: the
+  // serial fifo link has no flows for the net oracles to reason about.
+  check::OracleSuite suite;
+  WorldObservation obs = clean_observation();
+  add_clean_net(obs);
+  obs.net.cc_mode = false;
+  obs.net.retired_delivered -= 1;
+  obs.net.backlog_bytes = obs.net.queue_capacity_bytes + 1;
+  obs.net.flows.front().cwnd_bytes = -5.0;
+  EXPECT_TRUE(suite.check_all(obs).empty());
+}
+
 TEST(OracleSuiteShape, CanonicalNamesInOrder) {
-  const std::vector<std::string> expected = {"engine",     "mem-conservation", "watermarks",
-                                             "kswapd",     "lmkd-order",       "sched-state",
-                                             "vruntime",   "video-frames"};
+  const std::vector<std::string> expected = {
+      "engine",      "mem-conservation", "watermarks", "kswapd",
+      "lmkd-order",  "sched-state",      "vruntime",   "video-frames",
+      "net-conservation", "net-queue",   "net-cwnd",   "net-progress"};
   EXPECT_EQ(check::oracle_names(), expected);
 }
 

@@ -48,7 +48,8 @@ int usage() {
                "usage: mvqoe_campaign sweep [--family F] [--duration S] [--organic N]\n"
                "                            [--states s1,s2,...] [--fps n1,n2,...]\n"
                "                            [--heights h1,h2,...] [--runs N] [--seed N]\n"
-               "                            [--policy NAME] [--procs N] [--group-workers N]\n"
+               "                            [--policy NAME] [--cc NAME] [--procs N]\n"
+               "                            [--group-workers N]\n"
                "                            [--state FILE] [--shard-size N] [--retries N]\n"
                "                            [--heartbeat-ms N] [--backoff-ms N] [--out NAME]\n"
                "                            [--progress]\n"
@@ -143,6 +144,8 @@ Args parse_args(int argc, char** argv) {
       args.spec.runs = std::atoi(value(i));
     } else if (is_flag(i, "--policy")) {
       args.spec.mem_policy.name = value(i);
+    } else if (is_flag(i, "--cc")) {
+      args.spec.net.cc = value(i);
     } else if (is_flag(i, "--seed")) {
       args.spec.seed = std::strtoull(value(i), nullptr, 0);
     } else if (is_flag(i, "--procs")) {

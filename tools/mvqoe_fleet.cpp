@@ -46,7 +46,7 @@ using namespace mvqoe;
 int usage() {
   std::fprintf(stderr,
                "usage: mvqoe_fleet run [--devices N] [--seed N] [--session-s S]\n"
-               "                       [--policy NAME]\n"
+               "                       [--policy NAME] [--cc NAME]\n"
                "                       [--sample-period S] [--warmup-s S] [--shard-size N]\n"
                "                       [--jobs N] [--procs N] [--warm] [--state FILE]\n"
                "                       [--retries N] [--heartbeat-ms N]\n"
@@ -103,6 +103,8 @@ Args parse_args(int argc, char** argv) {
       args.spec.session_s = std::atoi(value(i));
     } else if (is_flag(i, "--policy")) {
       args.spec.mem_policy.name = value(i);
+    } else if (is_flag(i, "--cc")) {
+      args.spec.net.cc = value(i);
     } else if (is_flag(i, "--sample-period")) {
       args.spec.sample_period_s = std::atoi(value(i));
     } else if (is_flag(i, "--warmup-s")) {

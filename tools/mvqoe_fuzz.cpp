@@ -59,6 +59,7 @@
 #include "check/harness.hpp"
 #include "check/shrink.hpp"
 #include "mem/policy.hpp"
+#include "net/cc.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -69,7 +70,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: mvqoe_fuzz [--seed N] [--runs N] [--jobs N] [--out DIR]\n"
                "                  [--max-videos N] [--max-duration S] [--no-meta]\n"
-               "                  [--policy NAME[,NAME...]] [--perturb-run K]\n"
+               "                  [--policy NAME[,NAME...]] [--cc NAME[,NAME...]]\n"
+               "                  [--perturb-run K]\n"
                "                  [--perturb-at S] [--minutes N] [--progress]\n"
                "       mvqoe_fuzz --procs N [--state FILE] [--shard-size N] [--retries N]\n"
                "                  [--heartbeat-ms N] [--backoff-ms N] [common flags]\n"
@@ -89,6 +91,8 @@ struct Args {
   int max_duration = 8;
   /// Memory-policy axis for generated worlds; empty = baseline only.
   std::vector<std::string> policies;
+  /// Congestion-control axis for generated worlds; empty = fifo only.
+  std::vector<std::string> ccs;
   bool meta = true;
   int perturb_run = -1;
   int perturb_at_s = 2;
@@ -107,6 +111,18 @@ struct Args {
   bool progress = false;
   bool ok = true;
 };
+
+void split_csv(const std::string& csv, std::vector<std::string>& out) {
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string name =
+        csv.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!name.empty()) out.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -141,17 +157,11 @@ Args parse_args(int argc, char** argv) {
     } else if (is_flag(i, "--max-duration")) {
       args.max_duration = std::atoi(value(i));
     } else if (is_flag(i, "--policy")) {
-      std::string csv = value(i);
-      std::size_t start = 0;
-      while (start <= csv.size()) {
-        const std::size_t comma = csv.find(',', start);
-        const std::string name = csv.substr(
-            start, comma == std::string::npos ? std::string::npos : comma - start);
-        if (!name.empty()) args.policies.push_back(name);
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
+      split_csv(value(i), args.policies);
       if (args.policies.empty()) args.ok = false;
+    } else if (is_flag(i, "--cc")) {
+      split_csv(value(i), args.ccs);
+      if (args.ccs.empty()) args.ok = false;
     } else if (is_flag(i, "--no-meta")) {
       args.meta = false;
     } else if (is_flag(i, "--perturb-run")) {
@@ -206,6 +216,7 @@ check::FuzzOptions fuzz_options(const Args& args, std::uint64_t seed) {
   opts.generator.max_videos = args.max_videos;
   opts.generator.max_duration_s = args.max_duration;
   opts.generator.policies = args.policies;
+  opts.generator.ccs = args.ccs;
   opts.check.meta_determinism = args.meta;
   opts.perturb_run = args.perturb_run;
   opts.perturb_offset = sim::sec(args.perturb_at_s);
@@ -406,6 +417,9 @@ int main(int argc, char** argv) {
   try {
     for (const std::string& name : args.policies) {
       mvqoe::mem::validate_policy_spec({name, {}});
+    }
+    for (const std::string& name : args.ccs) {
+      mvqoe::net::validate_net_spec({name, {}});
     }
     if (!args.repro_path.empty()) return cmd_repro(args);
     if (args.procs > 0 || !args.state_path.empty() || !args.resume_path.empty()) {
